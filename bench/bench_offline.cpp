@@ -1,0 +1,131 @@
+// T-offline — the §II related-work claim: offline particle-tracking codes
+// (ESME / Long1D / BLonD class) are "far from the real-time requirements
+// that stem from a hardware-in-the-loop setup", which is why the paper
+// builds a 2-particle CGRA model instead.
+//
+// We measure the slowdown factor (wall seconds per simulated second) of our
+// own offline simulator across particle counts and compare it with the
+// real-time budget and with the HIL turn loop, then show what the offline
+// code buys you: dual-harmonic bucket shaping, which the 2-particle model
+// cannot predict.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/parallel.hpp"
+#include "core/units.hpp"
+#include "hil/turnloop.hpp"
+#include "io/table.hpp"
+#include "offline/longsim.hpp"
+#include "phys/multiharmonic.hpp"
+#include "phys/relativity.hpp"
+#include "phys/synchrotron.hpp"
+
+using namespace citl;
+
+namespace {
+
+void print_study() {
+  std::printf("T-offline — offline tracking vs the real-time requirement "
+              "(f_ref = 800 kHz => 1.25 µs per revolution)\n\n");
+
+  io::Table t({"simulator", "particles", "slowdown (wall s / sim s)",
+               "real-time?"});
+  for (std::size_t n : {1'000u, 10'000u, 100'000u}) {
+    offline::LongSimConfig cfg;
+    cfg.n_particles = n;
+    cfg.duration_s = 5.0e-3;
+    cfg.snapshot_every_s = 5.0e-3;
+    offline::LongSim sim(cfg);
+    const auto r = sim.run();
+    const double slow = r.slowdown(cfg.duration_s);
+    t.add_row({"offline (BLonD-class)", std::to_string(n),
+               io::Table::num(slow), slow <= 1.0 ? "yes" : "no"});
+  }
+  {
+    // The HIL turn loop for comparison.
+    hil::TurnLoopConfig tl;
+    tl.kernel.pipelined = true;
+    tl.f_ref_hz = 800.0e3;
+    tl.gap_voltage_v = 4860.0;
+    hil::TurnLoop loop(tl);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::int64_t turns = 20'000;
+    loop.run(turns);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double sim_s = static_cast<double>(turns) / 800.0e3;
+    t.add_row({"HIL turn loop (2-particle CGRA model)", "2",
+               io::Table::num(wall / sim_s),
+               wall / sim_s <= 1.0 ? "yes" : "no"});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // What the offline code buys: dual-harmonic bucket shaping.
+  std::printf("dual-harmonic (BLF) bucket shaping — what needs the offline "
+              "many-particle model:\n\n");
+  io::Table b({"V2/V1", "f_s [Hz] (analytic)", "bunch rms after 30 ms [ns]"});
+  const phys::Ion ion = phys::ion_n14_7plus();
+  const phys::Ring ring = phys::sis18(4);
+  const double gamma =
+      phys::gamma_from_revolution_frequency(800.0e3, ring.circumference_m);
+  for (double ratio : {0.0, 0.2, 0.45}) {
+    offline::LongSimConfig cfg;
+    cfg.n_particles = 6000;
+    cfg.duration_s = 30.0e-3;
+    cfg.snapshot_every_s = 30.0e-3;
+    cfg.h2_ratio = ratio;
+    const auto r = offline::LongSim(cfg).run();
+    double fs = 0.0;
+    if (ratio < 0.5) {
+      const auto wave = ratio == 0.0
+                            ? phys::MultiHarmonicWaveform(
+                                  kTwoPi * 4 * 800.0e3, {{1, 4860.0, 0.0}})
+                            : phys::MultiHarmonicWaveform::dual(
+                                  kTwoPi * 4 * 800.0e3, 4860.0, ratio);
+      fs = phys::synchrotron_frequency_hz(ion, ring, gamma, wave);
+    }
+    b.add_row({io::Table::num(ratio), io::Table::num(fs, 5),
+               io::Table::num(r.snapshots.back().rms_dt_s * 1e9)});
+  }
+  std::printf("%s\n", b.render().c_str());
+}
+
+void BM_OfflineTurn(benchmark::State& state) {
+  offline::LongSimConfig cfg;
+  cfg.n_particles = static_cast<std::size_t>(state.range(0));
+  cfg.duration_s = 1.0;  // irrelevant; we step manually via run() chunks
+  cfg.snapshot_every_s = 1.0;
+  ThreadPool pool;
+  phys::EnsembleConfig ec;
+  ec.ion = cfg.ion;
+  ec.ring = cfg.ring;
+  ec.initial_gamma_r = phys::gamma_from_revolution_frequency(
+      cfg.f_rev0_hz, cfg.ring.circumference_m);
+  ec.n_particles = cfg.n_particles;
+  phys::EnsembleTracker e(ec, state.range(1) != 0 ? &pool : nullptr);
+  e.populate_matched(2.0e-5, 4860.0);
+  phys::SineWaveform gap{4860.0, kTwoPi * 4 * 800.0e3, 0.0};
+  for (auto _ : state) {
+    e.step(gap);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["x_realtime"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 800.0e3,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OfflineTurn)
+    ->Args({10'000, 0})
+    ->Args({100'000, 0})
+    ->Args({100'000, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_study();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

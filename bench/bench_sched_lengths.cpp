@@ -1,0 +1,155 @@
+// T-sched / T-freq — §IV-B schedule-length numbers:
+//
+//   paper: 111 ticks pipelined @ 8 bunches vs 128 without pipelining;
+//          99 @ 4 bunches, 93 @ 1 bunch; CGRA clock 111 MHz =>
+//          max revolution frequency 1 MHz / ≈867 kHz / ≈1.12 MHz / ≈1.19 MHz.
+//
+// This bench compiles the beam kernel for every {bunches} × {pipelining}
+// combination on the 5x5 grid and prints measured schedule length and f_max
+// next to the paper's numbers, then the design-choice ablations DESIGN.md
+// lists: grid size and ring-buffer interpolation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <optional>
+
+#include "cgra/kernels.hpp"
+#include "cgra/lower.hpp"
+#include "cgra/schedule.hpp"
+#include "io/table.hpp"
+
+using namespace citl;
+
+namespace {
+
+cgra::BeamKernelConfig kernel_config(int bunches, bool pipelined,
+                                     bool interpolate = true) {
+  cgra::BeamKernelConfig kc;
+  kc.gamma0 = 1.2258;
+  kc.n_bunches = bunches;
+  kc.pipelined = pipelined;
+  kc.interpolate = interpolate;
+  return kc;
+}
+
+unsigned schedule_length(const cgra::BeamKernelConfig& kc,
+                         const cgra::CgraArch& arch) {
+  return cgra::schedule_dfg(
+             cgra::compile_to_dfg(cgra::beam_kernel_source(kc)), arch)
+      .length;
+}
+
+void print_tables() {
+  const cgra::CgraArch arch = cgra::grid_5x5();
+
+  std::printf("T-sched / T-freq — beam-kernel schedule lengths on the 5x5 "
+              "CGRA (clock %.0f MHz)\n\n",
+              arch.clock_hz / 1e6);
+
+  struct PaperRow {
+    int bunches;
+    bool pipelined;
+    std::optional<double> paper_len;
+    std::optional<double> paper_fmax_mhz;
+  };
+  const PaperRow rows[] = {
+      {1, false, std::nullopt, std::nullopt},
+      {4, false, std::nullopt, std::nullopt},
+      {8, false, 128.0, 0.867},
+      {1, true, 93.0, 1.19},
+      {4, true, 99.0, 1.12},
+      {8, true, 111.0, 1.0},
+  };
+  io::Table t({"bunches", "pipelined", "len [ticks]", "paper len",
+               "f_max [MHz]", "paper f_max"});
+  for (const PaperRow& r : rows) {
+    const unsigned len = schedule_length(kernel_config(r.bunches, r.pipelined),
+                                         arch);
+    t.add_row({std::to_string(r.bunches), r.pipelined ? "yes" : "no",
+               std::to_string(len),
+               r.paper_len ? io::Table::num(*r.paper_len) : "-",
+               io::Table::num(arch.clock_hz / len / 1e6),
+               r.paper_fmax_mhz ? io::Table::num(*r.paper_fmax_mhz) : "-"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("note: at f_ref = 800 kHz the budget is %.0f ticks — the plain "
+              "8-bunch kernel misses real time, the pipelined one makes it, "
+              "which is the paper's motivation for loop pipelining.\n\n",
+              arch.clock_hz / 800.0e3);
+
+  // Ablation 1: grid size (the framework is size-agnostic, §III-C).
+  io::Table g({"grid", "plain 8b [ticks]", "pipelined 8b [ticks]",
+               "pipelined f_max [MHz]"});
+  for (int n : {3, 4, 5, 6}) {
+    const cgra::CgraArch a = cgra::make_grid(n, n);
+    const unsigned lp = schedule_length(kernel_config(8, false), a);
+    const unsigned lq = schedule_length(kernel_config(8, true), a);
+    g.add_row({std::to_string(n) + "x" + std::to_string(n),
+               std::to_string(lp), std::to_string(lq),
+               io::Table::num(a.clock_hz / lq / 1e6)});
+  }
+  std::printf("ablation: grid size\n%s\n", g.render().c_str());
+
+  // Ablation 2: ring-buffer interpolation (§IV-B) costs extra loads.
+  io::Table i({"interpolation", "nodes", "pipelined 1b [ticks]"});
+  for (bool interp : {true, false}) {
+    const cgra::BeamKernelConfig kc = kernel_config(1, true, interp);
+    const cgra::Dfg dfg = cgra::compile_to_dfg(cgra::beam_kernel_source(kc));
+    const unsigned len = cgra::schedule_dfg(dfg, arch).length;
+    i.add_row({interp ? "two-sample linear" : "nearest sample",
+               std::to_string(dfg.size()), std::to_string(len)});
+  }
+  std::printf("ablation: ring-buffer read interpolation\n%s\n",
+              i.render().c_str());
+
+  // Ablation 3: sampled (buffer-read) vs CORDIC waveform-synthesis kernel.
+  io::Table w({"kernel variant", "loads", "CORDIC ops",
+               "pipelined 4b [ticks]"});
+  for (bool synth : {false, true}) {
+    const cgra::BeamKernelConfig kc = kernel_config(4, true);
+    const cgra::Dfg dfg = cgra::compile_to_dfg(
+        synth ? cgra::analytic_beam_kernel_source(kc)
+              : cgra::beam_kernel_source(kc));
+    const unsigned len = cgra::schedule_dfg(dfg, arch).length;
+    w.add_row({synth ? "CORDIC synthesis" : "sampled (buffers)",
+               std::to_string(dfg.count_class(cgra::OpClass::kMem)),
+               std::to_string(dfg.count_class(cgra::OpClass::kCordic)),
+               std::to_string(len)});
+  }
+  std::printf("ablation: gap-voltage acquisition strategy\n%s\n",
+              w.render().c_str());
+}
+
+void BM_CompileBeamKernel(benchmark::State& state) {
+  // "changes to the C implementation are available ... in seconds" (§III-C):
+  // our software toolflow compiles + schedules in well under a millisecond.
+  const auto kc = kernel_config(static_cast<int>(state.range(0)), true);
+  const std::string src = cgra::beam_kernel_source(kc);
+  const cgra::CgraArch arch = cgra::grid_5x5();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cgra::compile_kernel(src, arch).schedule.length);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " bunches");
+}
+BENCHMARK(BM_CompileBeamKernel)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ListSchedulerOnly(benchmark::State& state) {
+  const auto kc = kernel_config(8, true);
+  const cgra::Dfg dfg = cgra::compile_to_dfg(cgra::beam_kernel_source(kc));
+  const cgra::CgraArch arch = cgra::grid_5x5();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cgra::schedule_dfg(dfg, arch).length);
+  }
+  state.counters["nodes"] = static_cast<double>(dfg.size());
+}
+BENCHMARK(BM_ListSchedulerOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// X-perf — throughput of the simulation substrate itself: how much faster
+// (or slower) than real time each layer of the stack runs on this host.
+// This quantifies the fidelity/speed trade-off between the turn-level loop,
+// the functional CGRA machine, the cycle-accurate machine, and the full
+// sample-accurate framework.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cgra/kernels.hpp"
+#include "cgra/machine.hpp"
+#include "cgra/schedule.hpp"
+#include "hil/framework.hpp"
+#include "hil/turnloop.hpp"
+#include "phys/relativity.hpp"
+#include "phys/synchrotron.hpp"
+
+using namespace citl;
+
+namespace {
+
+double paper_gap_voltage() {
+  const phys::Ring ring = phys::sis18(4);
+  return phys::amplitude_for_synchrotron_frequency(
+      phys::ion_n14_7plus(), ring,
+      phys::gamma_from_revolution_frequency(800.0e3, ring.circumference_m),
+      1280.0);
+}
+
+void BM_CgraFunctionalIteration(benchmark::State& state) {
+  cgra::BeamKernelConfig kc;
+  kc.gamma0 = 1.2258;
+  kc.n_bunches = static_cast<int>(state.range(0));
+  kc.pipelined = true;
+  const cgra::CompiledKernel k =
+      cgra::compile_kernel(cgra::beam_kernel_source(kc), cgra::grid_5x5());
+  cgra::NullSensorBus bus;
+  cgra::CgraMachine m(k, bus);
+  for (auto _ : state) m.run_iteration();
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) + " bunches, functional");
+}
+BENCHMARK(BM_CgraFunctionalIteration)->Arg(1)->Arg(8);
+
+void BM_CgraCycleAccurate(benchmark::State& state) {
+  cgra::BeamKernelConfig kc;
+  kc.gamma0 = 1.2258;
+  kc.n_bunches = static_cast<int>(state.range(0));
+  kc.pipelined = true;
+  const cgra::CompiledKernel k =
+      cgra::compile_kernel(cgra::beam_kernel_source(kc), cgra::grid_5x5());
+  cgra::NullSensorBus bus;
+  cgra::CgraMachine m(k, bus);
+  for (auto _ : state) m.run_iteration_cycle_accurate();
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) + " bunches, cycle-accurate");
+}
+BENCHMARK(BM_CgraCycleAccurate)->Arg(1)->Arg(8);
+
+void BM_TurnLoopRealtimeFactor(benchmark::State& state) {
+  hil::TurnLoopConfig tl;
+  tl.kernel.pipelined = true;
+  tl.f_ref_hz = 800.0e3;
+  tl.gap_voltage_v = paper_gap_voltage();
+  tl.jumps = ctrl::PhaseJumpProgramme::paper();
+  hil::TurnLoop loop(tl);
+  for (auto _ : state) benchmark::DoNotOptimize(loop.step().dt_s);
+  state.SetItemsProcessed(state.iterations());
+  // >1 means faster than the real accelerator's revolution rate.
+  state.counters["x_realtime"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 800.0e3,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TurnLoopRealtimeFactor);
+
+void BM_FrameworkSampleRate(benchmark::State& state) {
+  hil::FrameworkConfig fc;
+  fc.kernel.pipelined = true;
+  fc.f_ref_hz = 800.0e3;
+  fc.gap_voltage_v = paper_gap_voltage();
+  hil::Framework fw(fc);
+  fw.params().set("record_enable", 0.0);
+  fw.run_seconds(0.1e-3);
+  for (auto _ : state) benchmark::DoNotOptimize(fw.tick().beam_v);
+  state.SetItemsProcessed(state.iterations());
+  // >1 means the 250 MHz chain simulates faster than the wall clock.
+  state.counters["x_realtime"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 250.0e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FrameworkSampleRate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

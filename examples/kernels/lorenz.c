@@ -1,0 +1,16 @@
+// Lorenz attractor on the CGRA — a non-beam kernel showing the toolflow is
+// generic (try: cgra_playground examples/kernels/lorenz.c 4).
+param float sigma = 10.0;
+param float rho = 28.0;
+param float beta = 2.6666667;
+param float h = 0.005;          // integration step
+state float x = 1.0;
+state float y = 1.0;
+state float z = 1.0;
+float dx = sigma * (y - x);
+float dy = x * (rho - z) - y;
+float dz = x * y - beta * z;
+x = x + h * dx;
+y = y + h * dy;
+z = z + h * dz;
+sensor_write(294912.0, x);      // monitor the x coordinate

@@ -1,0 +1,18 @@
+// A tiny phase-locked loop: tracks the phase of a synthesized input tone.
+// Demonstrates CORDIC sin/cos and predicated (ternary) logic.
+param float k_p = 0.15;         // proportional gain
+param float k_i = 0.01;         // integral gain
+param float f_in = 0.03;        // input tone frequency [cycles/iteration]
+state float theta_in = 0.0;     // hidden input phase (synthesized here)
+state float theta = 0.0;        // PLL phase estimate
+state float integ = 0.0;        // integrator
+theta_in = theta_in + 6.2831853 * f_in;
+float input = sinf(theta_in);
+// Phase detector: mix input with the local oscillator's quadrature.
+float err = input * cosf(theta);
+integ = integ + k_i * err;
+float step = 6.2831853 * f_in + k_p * err + integ;
+// Slew limit the NCO step (predication instead of branches).
+float limited = step > 0.5 ? 0.5 : (step < -0.5 ? -0.5 : step);
+theta = theta + limited;
+sensor_write(294912.0, err);

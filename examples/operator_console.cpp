@@ -1,0 +1,65 @@
+// Operator console session — the SpartanMC serial interface experience
+// (§III-B): bring up the simulator, inspect it, change parameters at run
+// time, and watch the effects, all through text commands.
+//
+// With no arguments a scripted session runs; pass `-i` for an interactive
+// prompt (reads commands from stdin).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "hil/console.hpp"
+#include "phys/relativity.hpp"
+#include "phys/synchrotron.hpp"
+
+int main(int argc, char** argv) {
+  using namespace citl;
+
+  hil::FrameworkConfig fc;
+  fc.kernel.pipelined = true;
+  fc.f_ref_hz = 800.0e3;
+  const phys::Ring ring = phys::sis18(4);
+  fc.gap_voltage_v = phys::amplitude_for_synchrotron_frequency(
+      phys::ion_n14_7plus(), ring,
+      phys::gamma_from_revolution_frequency(800.0e3, ring.circumference_m),
+      1280.0);
+  fc.jumps = ctrl::PhaseJumpProgramme::paper();
+  hil::Framework fw(fc);
+  hil::Console console(fw);
+
+  if (argc > 1 && std::strcmp(argv[1], "-i") == 0) {
+    std::printf("citl operator console — 'help' for commands, ctrl-d to "
+                "quit\n");
+    std::string line;
+    while (std::printf("> "), std::getline(std::cin, line)) {
+      std::printf("%s\n", console.execute(line).c_str());
+    }
+    return 0;
+  }
+
+  // Scripted session mirroring a bring-up procedure.
+  const char* script[] = {
+      "help",
+      "status",            // before init
+      "schedule",          // the compiled kernel
+      "run 0.002",         // boot: four sine periods + lock
+      "status",
+      "param v_scale",     // kernel parameter read
+      "get beam_pulse_scale",
+      "monitor beam",      // scope the pulses on DAC ch1
+      "run 0.01",          // through the first phase jump
+      "trace 5",
+      "pulse 45 0.5",      // widen the synthetic bunch (parametric pulse)
+      "control off",       // open the loop...
+      "run 0.01",
+      "trace 3",
+      "control on",        // ...and close it again
+      "run 0.02",
+      "status",
+  };
+  for (const char* cmd : script) {
+    std::printf("> %s\n%s\n\n", cmd, console.execute(cmd).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// CGRA architecture description (§III-C).
+//
+// A rectangular grid of processing elements (PEs), each with a configurable
+// set of operator classes, connected to its four neighbours. The framework
+// is agnostic to the grid size ("3x3 or 5x5") and interconnect; so is our
+// scheduler — the architecture is pure data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "core/error.hpp"
+#include "cgra/op.hpp"
+
+namespace citl::cgra {
+
+/// Index of a PE in the grid.
+struct PeId {
+  int row = 0;
+  int col = 0;
+  friend bool operator==(const PeId&, const PeId&) = default;
+};
+
+/// Per-operator-kind latency table [CGRA clock cycles].
+struct LatencyTable {
+  // Calibrated against the paper's schedule lengths — with these values the
+  // beam kernel on the 5x5 grid schedules to 87/98/116 ticks pipelined for
+  // 1/4/8 bunches (paper: 93/99/111) and 150 ticks plain for 8 bunches
+  // (paper: 128); see EXPERIMENTS.md (T-sched).
+  unsigned alu = 2;        // add/sub/neg/abs/min/max/compare/select/floor
+  unsigned mul = 3;
+  unsigned div = 12;
+  unsigned sqrt = 14;
+  unsigned load = 10;      // SensorAccess round trip
+  unsigned store = 1;
+  unsigned cordic = 18;    // iterative CORDIC rotator
+  unsigned route_hop = 1;  // one interconnect register per hop
+  unsigned source = 1;     // const/param/state fetch from context/regfile
+
+  [[nodiscard]] unsigned of(OpKind k) const noexcept {
+    switch (k) {
+      case OpKind::kConst:
+      case OpKind::kParam:
+      case OpKind::kState:
+        return source;
+      case OpKind::kMul:
+        return mul;
+      case OpKind::kDiv:
+        return div;
+      case OpKind::kSqrt:
+        return sqrt;
+      case OpKind::kSin:
+      case OpKind::kCos:
+        return cordic;
+      case OpKind::kLoad:
+        return load;
+      case OpKind::kStore:
+        return store;
+      case OpKind::kMove:
+        return route_hop;
+      default:
+        return alu;
+    }
+  }
+};
+
+/// Capabilities of one PE.
+struct PeCapabilities {
+  bool alu = true;
+  bool mul = true;
+  bool divsqrt = false;
+  bool cordic = false;
+  bool mem = false;
+
+  [[nodiscard]] bool supports(OpClass c) const noexcept {
+    switch (c) {
+      case OpClass::kAlu: return alu;
+      case OpClass::kMul: return mul;
+      case OpClass::kDivSqrt: return divsqrt;
+      case OpClass::kCordic: return cordic;
+      case OpClass::kMem: return mem;
+      case OpClass::kRoute: return true;  // every PE can forward operands
+    }
+    return false;
+  }
+};
+
+/// Full architecture description.
+struct CgraArch {
+  int rows = 0;
+  int cols = 0;
+  std::vector<PeCapabilities> pes;  // row-major
+  LatencyTable latency;
+  unsigned route_ports_per_pe = 2;  // parallel pass-throughs per PE per cycle
+  double clock_hz = 111.0e6;        // paper: CGRA clock 111 MHz
+
+  [[nodiscard]] int pe_count() const noexcept { return rows * cols; }
+  [[nodiscard]] int index(PeId p) const noexcept {
+    return p.row * cols + p.col;
+  }
+  [[nodiscard]] PeId pe_at(int idx) const noexcept {
+    return PeId{idx / cols, idx % cols};
+  }
+  [[nodiscard]] const PeCapabilities& caps(PeId p) const {
+    CITL_CHECK(p.row >= 0 && p.row < rows && p.col >= 0 && p.col < cols);
+    return pes[static_cast<std::size_t>(index(p))];
+  }
+  /// Manhattan distance — the number of interconnect hops between PEs under
+  /// the nearest-neighbour mesh of the paper's overlay.
+  [[nodiscard]] static int distance(PeId a, PeId b) noexcept {
+    return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+  }
+
+  /// Validates internal consistency; throws ConfigError on problems.
+  void validate() const {
+    if (rows <= 0 || cols <= 0) throw ConfigError("CGRA grid must be non-empty");
+    if (pes.size() != static_cast<std::size_t>(pe_count()))
+      throw ConfigError("PE capability table size mismatch");
+    bool any_mem = false, any_div = false;
+    for (const auto& c : pes) {
+      any_mem |= c.mem;
+      any_div |= c.divsqrt;
+    }
+    if (!any_mem)
+      throw ConfigError("at least one PE must have sensor-bus access");
+    (void)any_div;
+  }
+};
+
+/// Builds an R×C grid: all PEs carry ALU+MUL; divider/rooter on the main
+/// diagonal; sensor access on the west column (nearest the IO pins).
+[[nodiscard]] inline CgraArch make_grid(int rows, int cols) {
+  CgraArch a;
+  a.rows = rows;
+  a.cols = cols;
+  a.pes.resize(static_cast<std::size_t>(rows * cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      auto& pe = a.pes[static_cast<std::size_t>(r * cols + c)];
+      pe.divsqrt = (r == c);
+      pe.cordic = (r + c == rows - 1);  // CORDIC rotators on the anti-diagonal
+      pe.mem = (c == 0);
+    }
+  }
+  a.validate();
+  return a;
+}
+
+/// The configurations the paper names (§III-C).
+[[nodiscard]] inline CgraArch grid_3x3() { return make_grid(3, 3); }
+[[nodiscard]] inline CgraArch grid_4x4() { return make_grid(4, 4); }
+[[nodiscard]] inline CgraArch grid_5x5() { return make_grid(5, 5); }
+
+}  // namespace citl::cgra

@@ -1,0 +1,53 @@
+// Abstract syntax tree for the kernel language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace citl::cgra {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kNumber,   // literal
+    kVar,      // identifier reference
+    kUnary,    // op: "-"
+    kBinary,   // op: + - * / < <= > >= == !=
+    kTernary,  // args = {cond, then, else}
+    kCall,     // name = builtin, args = arguments
+  };
+
+  Kind kind;
+  double number = 0.0;
+  std::string name;  // variable name, builtin name, or operator spelling
+  std::vector<ExprPtr> args;
+  int line = 0;
+  int column = 0;
+};
+
+struct Stmt {
+  enum class Kind {
+    kDecl,           // [state|param] float name = init;
+    kAssign,         // name = expr;
+    kCallStmt,       // sensor_write(addr, value);
+    kPipelineSplit,  // pipeline_split();
+  };
+  enum class Storage { kLocal, kState, kParam };
+
+  Kind kind;
+  Storage storage = Storage::kLocal;
+  std::string name;
+  ExprPtr value;      // initialiser / RHS / nullptr
+  ExprPtr address;    // sensor_write address
+  int line = 0;
+  int column = 0;
+};
+
+struct Program {
+  std::vector<Stmt> stmts;
+};
+
+}  // namespace citl::cgra

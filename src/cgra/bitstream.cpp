@@ -1,0 +1,211 @@
+#include "cgra/bitstream.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace citl::cgra {
+
+namespace {
+
+constexpr int kVersion = 1;
+
+const std::map<std::string, OpKind>& op_by_name() {
+  static const std::map<std::string, OpKind> table = [] {
+    std::map<std::string, OpKind> m;
+    for (int k = 0; k <= static_cast<int>(OpKind::kMove); ++k) {
+      const auto kind = static_cast<OpKind>(k);
+      m[std::string(op_name(kind))] = kind;
+    }
+    return m;
+  }();
+  return table;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw ConfigError("bitstream: " + what);
+}
+
+std::string name_or_dash(const std::string& s) { return s.empty() ? "-" : s; }
+std::string dash_to_name(const std::string& s) { return s == "-" ? "" : s; }
+
+}  // namespace
+
+std::string save_bitstream(const CompiledKernel& kernel) {
+  const CgraArch& a = kernel.arch;
+  const Dfg& g = kernel.dfg;
+  const Schedule& s = kernel.schedule;
+  CITL_CHECK_MSG(s.placement.size() == g.size(),
+                 "kernel not scheduled; nothing to save");
+
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "citl-bitstream " << kVersion << '\n';
+  os << "arch " << a.rows << ' ' << a.cols << ' ' << a.route_ports_per_pe
+     << ' ' << a.clock_hz << '\n';
+  const LatencyTable& lt = a.latency;
+  os << "lat " << lt.alu << ' ' << lt.mul << ' ' << lt.div << ' ' << lt.sqrt
+     << ' ' << lt.load << ' ' << lt.store << ' ' << lt.route_hop << ' '
+     << lt.source << ' ' << lt.cordic << '\n';
+  for (int i = 0; i < a.pe_count(); ++i) {
+    const PeCapabilities& c = a.pes[static_cast<std::size_t>(i)];
+    os << "pe " << i << ' ' << c.alu << ' ' << c.mul << ' ' << c.divsqrt
+       << ' ' << c.cordic << ' ' << c.mem << '\n';
+  }
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const Node& n = g.node(static_cast<NodeId>(i));
+    os << "node " << i << ' ' << op_name(n.kind) << ' ' << n.stage << ' '
+       << n.args[0] << ' ' << n.args[1] << ' ' << n.args[2] << ' '
+       << n.constant << ' ' << name_or_dash(n.name) << '\n';
+    for (NodeId d : n.order_deps) {
+      os << "order " << i << ' ' << d << '\n';
+    }
+  }
+  for (const StateVar& sv : g.states()) {
+    os << "state " << sv.name << ' ' << sv.node << ' ' << sv.update << ' '
+       << sv.initial << '\n';
+  }
+  for (const ParamVar& pv : g.params()) {
+    os << "param " << pv.name << ' ' << pv.node << ' ' << pv.default_value
+       << '\n';
+  }
+  for (std::size_t i = 0; i < s.placement.size(); ++i) {
+    const Placement& p = s.placement[i];
+    os << "place " << i << ' ' << p.pe.row << ' ' << p.pe.col << ' '
+       << p.start << ' ' << p.finish << '\n';
+  }
+  for (const RouteHop& h : s.hops) {
+    os << "hop " << h.value << ' ' << h.pe.row << ' ' << h.pe.col << ' '
+       << h.cycle << '\n';
+  }
+  os << "length " << s.length << '\n';
+  return os.str();
+}
+
+CompiledKernel load_bitstream(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  CompiledKernel k;
+  std::vector<Node> nodes;
+  std::vector<StateVar> states;
+  std::vector<ParamVar> params;
+  std::vector<NodeId> stores;
+  bool have_header = false, have_arch = false, have_length = false;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "citl-bitstream") {
+      int version = 0;
+      ls >> version;
+      if (version != kVersion) bad("unsupported version");
+      have_header = true;
+    } else if (tag == "arch") {
+      ls >> k.arch.rows >> k.arch.cols >> k.arch.route_ports_per_pe >>
+          k.arch.clock_hz;
+      if (!ls || k.arch.rows <= 0 || k.arch.cols <= 0) bad("malformed arch");
+      k.arch.pes.assign(static_cast<std::size_t>(k.arch.pe_count()),
+                        PeCapabilities{});
+      have_arch = true;
+    } else if (tag == "lat") {
+      LatencyTable& lt = k.arch.latency;
+      ls >> lt.alu >> lt.mul >> lt.div >> lt.sqrt >> lt.load >> lt.store >>
+          lt.route_hop >> lt.source >> lt.cordic;
+      if (!ls) bad("malformed lat");
+    } else if (tag == "pe") {
+      if (!have_arch) bad("pe before arch");
+      int idx = 0;
+      PeCapabilities c;
+      ls >> idx >> c.alu >> c.mul >> c.divsqrt >> c.cordic >> c.mem;
+      if (!ls || idx < 0 || idx >= k.arch.pe_count()) bad("malformed pe");
+      k.arch.pes[static_cast<std::size_t>(idx)] = c;
+    } else if (tag == "node") {
+      std::size_t id = 0;
+      std::string op, name;
+      Node n;
+      ls >> id >> op >> n.stage >> n.args[0] >> n.args[1] >> n.args[2] >>
+          n.constant >> name;
+      if (!ls) bad("malformed node");
+      const auto it = op_by_name().find(op);
+      if (it == op_by_name().end()) bad("unknown op '" + op + "'");
+      n.kind = it->second;
+      n.name = dash_to_name(name);
+      if (id != nodes.size()) bad("nodes out of order");
+      nodes.push_back(std::move(n));
+      if (nodes.back().kind == OpKind::kStore) {
+        stores.push_back(static_cast<NodeId>(id));
+      }
+    } else if (tag == "order") {
+      std::size_t id = 0;
+      NodeId dep = kNoNode;
+      ls >> id >> dep;
+      if (!ls || id >= nodes.size()) bad("malformed order");
+      nodes[id].order_deps.push_back(dep);
+    } else if (tag == "state") {
+      StateVar sv;
+      ls >> sv.name >> sv.node >> sv.update >> sv.initial;
+      if (!ls) bad("malformed state");
+      states.push_back(std::move(sv));
+    } else if (tag == "param") {
+      ParamVar pv;
+      ls >> pv.name >> pv.node >> pv.default_value;
+      if (!ls) bad("malformed param");
+      params.push_back(std::move(pv));
+    } else if (tag == "place") {
+      std::size_t id = 0;
+      Placement p;
+      ls >> id >> p.pe.row >> p.pe.col >> p.start >> p.finish;
+      if (!ls) bad("malformed place");
+      if (id != k.schedule.placement.size()) bad("placements out of order");
+      k.schedule.placement.push_back(p);
+    } else if (tag == "hop") {
+      RouteHop h;
+      ls >> h.value >> h.pe.row >> h.pe.col >> h.cycle;
+      if (!ls) bad("malformed hop");
+      k.schedule.hops.push_back(h);
+    } else if (tag == "length") {
+      ls >> k.schedule.length;
+      if (!ls) bad("malformed length");
+      have_length = true;
+    } else {
+      bad("unknown record '" + tag + "'");
+    }
+  }
+  if (!have_header) bad("missing header");
+  if (!have_arch) bad("missing arch");
+  if (!have_length) bad("missing length");
+
+  try {
+    k.arch.validate();
+    k.dfg = Dfg::restore(std::move(nodes), std::move(states),
+                         std::move(params), std::move(stores));
+    verify_schedule(k.dfg, k.arch, k.schedule);
+  } catch (const std::logic_error& e) {
+    bad(std::string("verification failed: ") + e.what());
+  }
+  return k;
+}
+
+void save_bitstream_file(const std::string& path,
+                         const CompiledKernel& kernel) {
+  std::ofstream f(path);
+  if (!f) throw ConfigError("cannot open for writing: " + path);
+  f << save_bitstream(kernel);
+  if (!f) throw ConfigError("write failed: " + path);
+}
+
+CompiledKernel load_bitstream_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ConfigError("cannot open: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return load_bitstream(ss.str());
+}
+
+}  // namespace citl::cgra

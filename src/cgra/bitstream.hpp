@@ -1,0 +1,45 @@
+// Bitstream-style serialisation of compiled kernels.
+//
+// The paper's flow inserts freshly scheduled context memories "into the
+// final FPGA bitstream without requiring a new synthesis" (§III-C). The
+// analogue here: a compiled kernel (architecture + dataflow graph +
+// schedule) serialises to a self-contained text artefact that can be stored,
+// diffed, shipped, and loaded back without recompiling from C source.
+//
+// The format is line-oriented and versioned:
+//
+//   citl-bitstream 1
+//   arch <rows> <cols> <route_ports> <clock_hz>
+//   lat <alu> <mul> <div> <sqrt> <load> <store> <route> <source> <cordic>
+//   pe <idx> <alu> <mul> <divsqrt> <cordic> <mem>
+//   node <id> <op> <stage> <a0> <a1> <a2> <const> <name>
+//   order <id> <dep>
+//   state <name> <node> <update> <initial>
+//   param <name> <node> <default>
+//   place <id> <row> <col> <start> <finish>
+//   hop <value> <row> <col> <cycle>
+//   length <ticks>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cgra/schedule.hpp"
+
+namespace citl::cgra {
+
+/// Serialises a compiled kernel. The result loads back bit-identically.
+[[nodiscard]] std::string save_bitstream(const CompiledKernel& kernel);
+
+/// Parses a bitstream produced by save_bitstream. Validates the DFG and the
+/// schedule (via verify_schedule) before returning; throws ConfigError on
+/// malformed input or verification failure — a corrupted artefact never
+/// reaches the machine.
+[[nodiscard]] CompiledKernel load_bitstream(const std::string& text);
+
+/// File convenience wrappers.
+void save_bitstream_file(const std::string& path,
+                         const CompiledKernel& kernel);
+[[nodiscard]] CompiledKernel load_bitstream_file(const std::string& path);
+
+}  // namespace citl::cgra

@@ -1,0 +1,267 @@
+#include "cgra/kernels.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "cgra/sensor.hpp"
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace citl::cgra {
+
+namespace {
+
+/// Formats a double as a kernel literal with full round-trip precision.
+std::string lit(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  std::string s = os.str();
+  // Negative literals must be parenthesised so they can follow operators.
+  if (!s.empty() && s[0] == '-') return "(0.0 - " + s.substr(1) + ")";
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string beam_kernel_source(const BeamKernelConfig& cfg) {
+  CITL_CHECK_MSG(cfg.n_bunches >= 1 && cfg.n_bunches <= 16,
+                 "bunch count out of range");
+  CITL_CHECK_MSG(cfg.gamma0 > 1.0, "gamma0 must exceed 1");
+
+  const double qm = cfg.ion.charge_over_mc2();
+  const double lr = cfg.ring.circumference_m;
+  const double inv_h = 1.0 / static_cast<double>(cfg.ring.harmonic);
+
+  std::ostringstream os;
+  os << "// auto-generated beam tracking kernel: " << cfg.ion.name << ", "
+     << cfg.n_bunches << " bunch(es), "
+     << (cfg.pipelined ? "pipelined" : "plain") << "\n";
+  os << "param float v_scale = " << lit(cfg.v_scale) << ";\n";
+  os << "state float gamma_r = " << lit(cfg.gamma0) << ";\n";
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "state float dgamma" << j << " = 0.0;\n";
+    os << "state float dt" << j << " = 0.0;\n";
+  }
+
+  // ---- stage 0: sensing ---------------------------------------------------
+  os << "float period = sensor_read(" << lit(region_base(SensorRegion::kPeriod))
+     << ");\n";
+  os << "float ginv = 1.0 / (gamma_r * gamma_r);\n";
+  os << "float beta = sqrtf(1.0 - ginv);\n";
+  os << "float t_r = " << lit(lr) << " / (beta * " << lit(kSpeedOfLight)
+     << ");\n";
+  os << "float dT = t_r - period;\n";
+  os << "float fs = " << lit(cfg.sample_rate_hz) << ";\n";
+  // Reference voltage V_R from the reference-signal buffer (§IV-B).
+  os << "float a_ref = dT * fs;\n";
+  os << "float a0 = floorf(a_ref);\n";
+  os << "float v0 = sensor_read(" << lit(region_base(SensorRegion::kRefBuf))
+     << " + a0);\n";
+  if (cfg.interpolate) {
+    os << "float v1 = sensor_read("
+       << lit(region_base(SensorRegion::kRefBuf) + 1.0) << " + a0);\n";
+    os << "float vr = (v0 + (v1 - v0) * (a_ref - a0)) * v_scale;\n";
+  } else {
+    os << "float vr = v0 * v_scale;\n";
+  }
+  // Gap voltage V_j for each bunch, bucket-spaced by period/h.
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "float adr" << j << " = (dT + dt" << j << ") * fs";
+    if (j != 0) {
+      os << " + period * fs * " << lit(static_cast<double>(j) * inv_h);
+    }
+    os << ";\n";
+    os << "float base" << j << " = floorf(adr" << j << ");\n";
+    os << "float w0_" << j << " = sensor_read("
+       << lit(region_base(SensorRegion::kGapBuf)) << " + base" << j << ");\n";
+    if (cfg.interpolate) {
+      os << "float w1_" << j << " = sensor_read("
+         << lit(region_base(SensorRegion::kGapBuf) + 1.0) << " + base" << j
+         << ");\n";
+      os << "float va" << j << " = (w0_" << j << " + (w1_" << j << " - w0_"
+         << j << ") * (adr" << j << " - base" << j << ")) * v_scale;\n";
+    } else {
+      os << "float va" << j << " = w0_" << j << " * v_scale;\n";
+    }
+  }
+  // Write-back happens in the first stage — the arrival time for this
+  // revolution is already known (§IV-B: "all IO operations are performed in
+  // the first loop iteration").
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "sensor_write(" << lit(region_base(SensorRegion::kActuator) +
+                                 static_cast<double>(j))
+       << ", dT + dt" << j << ");\n";
+  }
+
+  if (cfg.pipelined) os << "pipeline_split();\n";
+
+  // ---- stage 1: tracking update (eqs. (2), (3), (5), (6)) -----------------
+  os << "gamma_r = gamma_r + " << lit(qm) << " * vr;\n";
+  os << "float g2 = 1.0 / (gamma_r * gamma_r);\n";
+  os << "float eta = " << lit(cfg.ring.alpha_c) << " - g2;\n";
+  os << "float nbeta2 = 1.0 - g2;\n";
+  os << "float nbeta = sqrtf(nbeta2);\n";
+  os << "float drift = " << lit(lr)
+     << " * eta / (nbeta * nbeta2 * gamma_r * " << lit(kSpeedOfLight)
+     << ");\n";
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "dgamma" << j << " = dgamma" << j << " + " << lit(qm) << " * (va"
+       << j << " - vr);\n";
+    os << "dt" << j << " = dt" << j << " + drift * dgamma" << j << ";\n";
+  }
+  return os.str();
+}
+
+std::string analytic_beam_kernel_source(const BeamKernelConfig& cfg) {
+  CITL_CHECK_MSG(cfg.n_bunches >= 1 && cfg.n_bunches <= 16,
+                 "bunch count out of range");
+  CITL_CHECK_MSG(cfg.gamma0 > 1.0, "gamma0 must exceed 1");
+
+  const double qm = cfg.ion.charge_over_mc2();
+  const double lr = cfg.ring.circumference_m;
+
+  std::ostringstream os;
+  os << "// auto-generated analytic (CORDIC) beam tracking kernel: "
+     << cfg.ion.name << ", " << cfg.n_bunches << " bunch(es), "
+     << (cfg.pipelined ? "pipelined" : "plain") << "\n";
+  os << "param float v_hat = 1000.0;\n";
+  os << "param float gap_phase = 0.0;\n";
+  os << "state float gamma_r = " << lit(cfg.gamma0) << ";\n";
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "state float dgamma" << j << " = 0.0;\n";
+    os << "state float dt" << j << " = 0.0;\n";
+  }
+
+  // ---- stage 0: timing + on-chip waveform synthesis -----------------------
+  os << "float period = sensor_read(" << lit(region_base(SensorRegion::kPeriod))
+     << ");\n";
+  os << "float ginv = 1.0 / (gamma_r * gamma_r);\n";
+  os << "float beta = sqrtf(1.0 - ginv);\n";
+  os << "float t_r = " << lit(lr) << " / (beta * " << lit(kSpeedOfLight)
+     << ");\n";
+  os << "float dT = t_r - period;\n";
+  os << "float omega = " << lit(kTwoPi * cfg.ring.harmonic)
+     << " / period;\n";
+  // The reference particle rides the undisturbed reference signal's zero
+  // crossing: V_R = 0 in the stationary case.
+  os << "float vr = 0.0;\n";
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "float va" << j << " = v_hat * sinf(omega * (dT + dt" << j
+       << ") + gap_phase);\n";
+  }
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "sensor_write(" << lit(region_base(SensorRegion::kActuator) +
+                                 static_cast<double>(j))
+       << ", dT + dt" << j << ");\n";
+  }
+
+  if (cfg.pipelined) os << "pipeline_split();\n";
+
+  // ---- stage 1: tracking update (eqs. (2), (3), (5), (6)) -----------------
+  os << "gamma_r = gamma_r + " << lit(qm) << " * vr;\n";
+  os << "float g2 = 1.0 / (gamma_r * gamma_r);\n";
+  os << "float eta = " << lit(cfg.ring.alpha_c) << " - g2;\n";
+  os << "float nbeta2 = 1.0 - g2;\n";
+  os << "float nbeta = sqrtf(nbeta2);\n";
+  os << "float drift = " << lit(lr)
+     << " * eta / (nbeta * nbeta2 * gamma_r * " << lit(kSpeedOfLight)
+     << ");\n";
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "dgamma" << j << " = dgamma" << j << " + " << lit(qm) << " * (va"
+       << j << " - vr);\n";
+    os << "dt" << j << " = dt" << j << " + drift * dgamma" << j << ";\n";
+  }
+  return os.str();
+}
+
+std::string ramp_beam_kernel_source(const BeamKernelConfig& cfg) {
+  CITL_CHECK_MSG(cfg.n_bunches >= 1 && cfg.n_bunches <= 16,
+                 "bunch count out of range");
+  const double qm = cfg.ion.charge_over_mc2();
+  const double lr = cfg.ring.circumference_m;
+  const double fs = cfg.sample_rate_hz;
+
+  std::ostringstream os;
+  os << "// auto-generated ramp-capable beam tracking kernel: "
+     << cfg.ion.name << ", " << cfg.n_bunches << " bunch(es), "
+     << (cfg.pipelined ? "pipelined" : "plain") << "\n";
+  os << "param float v_scale = " << lit(cfg.v_scale) << ";\n";
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "state float dgamma" << j << " = 0.0;\n";
+    os << "state float dt" << j << " = 0.0;\n";
+  }
+
+  // ---- stage 0: timing + sensing -----------------------------------------
+  os << "float period = sensor_read(" << lit(region_base(SensorRegion::kPeriod))
+     << ");\n";
+  // gamma_R from the measured period — valid at any point of the ramp; the
+  // synchronous energy gain never needs to be integrated, because Δγ is
+  // defined relative to the (moving) synchronous particle and its kick
+  // cancels in ΔV = V(Δt) − V(0).
+  os << "float beta = " << lit(lr) << " / (period * " << lit(kSpeedOfLight)
+     << ");\n";
+  os << "float g2 = 1.0 - beta * beta;\n";
+  os << "float gamma_r = 1.0 / sqrtf(g2);\n";
+  // Gap-buffer reads are addressed relative to the *synchronous* particle.
+  os << "float fs = " << lit(fs) << ";\n";
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "float adr" << j << " = dt" << j << " * fs;\n";
+    os << "float base" << j << " = floorf(adr" << j << ");\n";
+    os << "float w0_" << j << " = sensor_read("
+       << lit(region_base(SensorRegion::kGapBuf)) << " + base" << j << ");\n";
+    os << "float w1_" << j << " = sensor_read("
+       << lit(region_base(SensorRegion::kGapBuf) + 1.0) << " + base" << j
+       << ");\n";
+    os << "float va" << j << " = (w0_" << j << " + (w1_" << j << " - w0_" << j
+       << ") * (adr" << j << " - base" << j << ")) * v_scale;\n";
+  }
+  os << "float v0s = sensor_read(" << lit(region_base(SensorRegion::kGapBuf))
+     << ") * v_scale;\n";  // gap voltage at the synchronous position
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    os << "sensor_write(" << lit(region_base(SensorRegion::kActuator) +
+                                 static_cast<double>(j))
+       << ", dt" << j << ");\n";
+  }
+  // The drift coefficient depends only on the measured period, so it belongs
+  // to stage 0: stage 1 then consumes it through a pipeline register, whose
+  // reset value of 0 makes the warm-up iteration a harmless no-op (dividing
+  // by a zero-initialised beta in stage 1 would produce NaN instead).
+  os << "float eta = " << lit(cfg.ring.alpha_c) << " - 1.0 / (gamma_r * "
+        "gamma_r);\n";
+  os << "float drift = " << lit(lr)
+     << " * eta / (beta * beta * beta * gamma_r * " << lit(kSpeedOfLight)
+     << ");\n";
+
+  if (cfg.pipelined) os << "pipeline_split();\n";
+
+  // ---- stage 1: tracking update at the moving working point ---------------
+  for (int j = 0; j < cfg.n_bunches; ++j) {
+    // eq. (3) against the synchronous voltage instead of the ref signal.
+    os << "dgamma" << j << " = dgamma" << j << " + " << lit(qm) << " * (va"
+       << j << " - v0s);\n";
+    os << "dt" << j << " = dt" << j << " + drift * dgamma" << j << ";\n";
+  }
+  return os.str();
+}
+
+std::string demo_oscillator_source() {
+  // A mass on a spring with drag, integrated symplectically — small, IO-free,
+  // and it exercises mul/div/sqrt/compare/select.
+  return R"(
+param float k = 0.04;      // spring constant
+param float drag = 0.002;  // velocity damping
+state float x = 1.0;
+state float v = 0.0;
+float a = 0.0 - k * x - drag * v;
+v = v + a;
+x = x + v;
+float amp = sqrtf(x * x + v * v / k);
+float clipped = amp > 10.0 ? 10.0 : amp;
+sensor_write(294912.0, clipped);  // MONITOR region (4*65536 + 32768)
+)";
+}
+
+}  // namespace citl::cgra

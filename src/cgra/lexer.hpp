@@ -1,0 +1,52 @@
+// Lexer for the CGRA kernel language (§III-C: "Programming of the CGRA is
+// done using the C programming language").
+//
+// The language is the C subset the paper's toolflow consumes — straight-line
+// float arithmetic forming the body of the per-revolution loop:
+//
+//   param float v_scale = 1000.0;      // runtime-settable parameter
+//   state float dt = 0.0;              // loop-carried across revolutions
+//   float a = sensor_read(65536.0 + 4.0);
+//   float b = a > 0.0 ? sqrtf(a) : 0.0;
+//   sensor_write(196608.0, dt);
+//   pipeline_split();                  // manual 2-stage loop pipelining
+//   dt = dt + b * 2.0e-6;
+//
+// Supported: float declarations with state/param storage classes,
+// assignments, + - * /, unary -, comparisons, ?:, parentheses, the builtins
+// sensor_read/sensor_write/sqrtf/fabsf/fminf/fmaxf/floorf, and the
+// pipeline_split() marker. No branches or loops — CGRAs predicate instead.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace citl::cgra {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kPunct,  // one of ( ) , ; = + - * / < > ? : ! and two-char == <= >= !=
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  int line = 1;
+  int column = 1;
+
+  [[nodiscard]] bool is_punct(std::string_view p) const {
+    return kind == TokKind::kPunct && text == p;
+  }
+  [[nodiscard]] bool is_ident(std::string_view id) const {
+    return kind == TokKind::kIdent && text == id;
+  }
+};
+
+/// Tokenises kernel source. Throws CompileError on malformed input.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace citl::cgra

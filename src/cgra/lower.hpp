@@ -1,0 +1,20 @@
+// Lowering: kernel AST -> SCAR dataflow graph.
+#pragma once
+
+#include <string_view>
+
+#include "cgra/ast.hpp"
+#include "cgra/ir.hpp"
+
+namespace citl::cgra {
+
+/// Lowers a parsed kernel into a dataflow graph, performing constant folding
+/// and SSA renaming. Throws CompileError on semantic problems (use of
+/// undeclared variables, assignments to params, non-constant state
+/// initialisers, more than one pipeline_split, ...).
+[[nodiscard]] Dfg lower(const Program& program);
+
+/// Convenience: parse + lower + validate in one step.
+[[nodiscard]] Dfg compile_to_dfg(std::string_view source);
+
+}  // namespace citl::cgra

@@ -1,0 +1,388 @@
+#include "cgra/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace citl::cgra {
+
+namespace {
+
+/// CORDIC rotation (circular mode), the algorithm the overlay's trigonometric
+/// PEs implement (§III-C). 28 iterations bring the angular resolution below
+/// binary32 epsilon; the gain constant is pre-divided out of the seed.
+template <typename F>
+void cordic_rotate(F angle, F* out_cos, F* out_sin) {
+  constexpr int kIters = 28;
+  static const double kAtan[kIters] = {
+      0.7853981633974483,    0.4636476090008061,    0.24497866312686414,
+      0.12435499454676144,   0.06241880999595735,   0.031239833430268277,
+      0.015623728620476831,  0.007812341060101111,  0.0039062301319669718,
+      0.0019531225164788188, 0.0009765621895593195, 0.0004882812111948983,
+      0.00024414062014936177, 0.00012207031189367021, 6.103515617420877e-05,
+      3.0517578115526096e-05, 1.5258789061315762e-05, 7.62939453110197e-06,
+      3.814697265606496e-06,  1.907348632810187e-06,  9.536743164059608e-07,
+      4.7683715820308884e-07, 2.3841857910155797e-07, 1.1920928955078068e-07,
+      5.960464477539055e-08,  2.9802322387695303e-08, 1.4901161193847655e-08,
+      7.450580596923828e-09};
+  constexpr double kGainInv = 0.6072529350088813;
+
+  // Reduce to (-pi, pi], then to [-pi/2, pi/2] with a sign flip.
+  double z = static_cast<double>(angle);
+  z = std::remainder(z, 2.0 * 3.14159265358979323846);
+  F flip = F(1);
+  if (z > 1.5707963267948966) {
+    z = 3.14159265358979323846 - z;
+    flip = F(-1);
+  } else if (z < -1.5707963267948966) {
+    z = -3.14159265358979323846 - z;
+    flip = F(-1);
+  }
+  F x = F(kGainInv);
+  F y = F(0);
+  F zr = F(z);
+  F pow2 = F(1);
+  for (int i = 0; i < kIters; ++i) {
+    const F xs = x * pow2;  // x * 2^-i computed via running scale
+    const F ys = y * pow2;
+    if (zr >= F(0)) {
+      const F xn = x - ys;
+      y = y + xs;
+      x = xn;
+      zr = zr - F(kAtan[i]);
+    } else {
+      const F xn = x + ys;
+      y = y - xs;
+      x = xn;
+      zr = zr + F(kAtan[i]);
+    }
+    pow2 = pow2 * F(0.5);
+  }
+  *out_cos = flip * x;
+  // sin is odd under the flip about ±pi/2? No: sin(pi - z) = sin(z), so the
+  // y component keeps its sign when reducing across the vertical axis.
+  *out_sin = y;
+}
+
+}  // namespace
+
+CgraMachine::CgraMachine(const CompiledKernel& kernel, SensorBus& bus,
+                         Precision precision)
+    : kernel_(&kernel), bus_(&bus), precision_(precision) {
+  values_.assign(kernel.dfg.size(), 0.0);
+  pipe_regs_.assign(kernel.dfg.size(), 0.0);
+  topo_ = kernel.dfg.topo_order();
+  reset();
+}
+
+void CgraMachine::reset() {
+  const Dfg& g = kernel_->dfg;
+  state_vals_.clear();
+  for (const auto& s : g.states()) state_vals_.push_back(s.initial);
+  param_vals_.clear();
+  for (const auto& p : g.params()) param_vals_.push_back(p.default_value);
+  std::fill(values_.begin(), values_.end(), 0.0);
+  std::fill(pipe_regs_.begin(), pipe_regs_.end(), 0.0);
+  iterations_ = 0;
+}
+
+void CgraMachine::set_param(const std::string& name, double value) {
+  const auto& params = kernel_->dfg.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) {
+      param_vals_[i] = quantise(value);
+      return;
+    }
+  }
+  throw ConfigError("unknown kernel parameter: " + name);
+}
+
+double CgraMachine::param(const std::string& name) const {
+  const auto& params = kernel_->dfg.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) return param_vals_[i];
+  }
+  throw ConfigError("unknown kernel parameter: " + name);
+}
+
+double CgraMachine::state(const std::string& name) const {
+  const auto& states = kernel_->dfg.states();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].name == name) return state_vals_[i];
+  }
+  throw ConfigError("unknown kernel state: " + name);
+}
+
+void CgraMachine::set_state(const std::string& name, double value) {
+  const auto& states = kernel_->dfg.states();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].name == name) {
+      state_vals_[i] = quantise(value);
+      return;
+    }
+  }
+  throw ConfigError("unknown kernel state: " + name);
+}
+
+double CgraMachine::value(NodeId node) const {
+  CITL_CHECK(node >= 0 && static_cast<std::size_t>(node) < values_.size());
+  return values_[static_cast<std::size_t>(node)];
+}
+
+double CgraMachine::quantise(double v) const noexcept {
+  return precision_ == Precision::kFloat32
+             ? static_cast<double>(static_cast<float>(v))
+             : v;
+}
+
+double CgraMachine::operand(NodeId consumer, NodeId producer) const {
+  // Pipeline edges read the register written in the previous iteration.
+  if (kernel_->dfg.is_pipeline_edge(producer, consumer)) {
+    return pipe_regs_[static_cast<std::size_t>(producer)];
+  }
+  return values_[static_cast<std::size_t>(producer)];
+}
+
+double CgraMachine::eval(const Node& n, double a, double b, double c) {
+  if (precision_ == Precision::kFloat32) {
+    const auto fa = static_cast<float>(a);
+    const auto fb = static_cast<float>(b);
+    const auto fc = static_cast<float>(c);
+    switch (n.kind) {
+      case OpKind::kAdd: return static_cast<double>(fa + fb);
+      case OpKind::kSub: return static_cast<double>(fa - fb);
+      case OpKind::kMul: return static_cast<double>(fa * fb);
+      case OpKind::kDiv: return static_cast<double>(fa / fb);
+      case OpKind::kSqrt: return static_cast<double>(std::sqrt(fa));
+      case OpKind::kNeg: return static_cast<double>(-fa);
+      case OpKind::kAbs: return static_cast<double>(std::fabs(fa));
+      case OpKind::kMin: return static_cast<double>(std::fmin(fa, fb));
+      case OpKind::kMax: return static_cast<double>(std::fmax(fa, fb));
+      case OpKind::kFloor: return static_cast<double>(std::floor(fa));
+      case OpKind::kSin: {
+        float c, s;
+        cordic_rotate(fa, &c, &s);
+        return static_cast<double>(s);
+      }
+      case OpKind::kCos: {
+        float c, s;
+        cordic_rotate(fa, &c, &s);
+        return static_cast<double>(c);
+      }
+      case OpKind::kCmpLt: return fa < fb ? 1.0 : 0.0;
+      case OpKind::kCmpLe: return fa <= fb ? 1.0 : 0.0;
+      case OpKind::kCmpEq: return fa == fb ? 1.0 : 0.0;
+      case OpKind::kSelect: return fa != 0.0f ? static_cast<double>(fb)
+                                              : static_cast<double>(fc);
+      default: break;
+    }
+  } else {
+    switch (n.kind) {
+      case OpKind::kAdd: return a + b;
+      case OpKind::kSub: return a - b;
+      case OpKind::kMul: return a * b;
+      case OpKind::kDiv: return a / b;
+      case OpKind::kSqrt: return std::sqrt(a);
+      case OpKind::kNeg: return -a;
+      case OpKind::kAbs: return std::fabs(a);
+      case OpKind::kMin: return std::fmin(a, b);
+      case OpKind::kMax: return std::fmax(a, b);
+      case OpKind::kFloor: return std::floor(a);
+      case OpKind::kSin: {
+        double c, s;
+        cordic_rotate(a, &c, &s);
+        return s;
+      }
+      case OpKind::kCos: {
+        double c, s;
+        cordic_rotate(a, &c, &s);
+        return c;
+      }
+      case OpKind::kCmpLt: return a < b ? 1.0 : 0.0;
+      case OpKind::kCmpLe: return a <= b ? 1.0 : 0.0;
+      case OpKind::kCmpEq: return a == b ? 1.0 : 0.0;
+      case OpKind::kSelect: return a != 0.0 ? b : c;
+      default: break;
+    }
+  }
+  CITL_CHECK_MSG(false, "eval() called on a non-arithmetic op");
+  return 0.0;
+}
+
+namespace {
+
+/// Index of a state/param node within its table, or -1.
+int state_index(const Dfg& g, NodeId id) {
+  const auto& states = g.states();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].node == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+int param_index(const Dfg& g, NodeId id) {
+  const auto& params = g.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].node == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+void CgraMachine::run_iteration() {
+  const Dfg& g = kernel_->dfg;
+  for (NodeId id : topo_) {
+    const Node& n = g.node(id);
+    double out = 0.0;
+    switch (n.kind) {
+      case OpKind::kConst:
+        out = quantise(n.constant);
+        break;
+      case OpKind::kParam:
+        out = param_vals_[static_cast<std::size_t>(param_index(g, id))];
+        break;
+      case OpKind::kState:
+        out = state_vals_[static_cast<std::size_t>(state_index(g, id))];
+        break;
+      case OpKind::kLoad: {
+        const double addr = operand(id, n.args[0]);
+        const DecodedAddress da = decode_address(addr);
+        out = quantise(bus_->read(da.region, da.offset));
+        break;
+      }
+      case OpKind::kStore: {
+        const double addr = operand(id, n.args[0]);
+        const double val = operand(id, n.args[1]);
+        const DecodedAddress da = decode_address(addr);
+        bus_->write(da.region, da.offset, val);
+        out = val;
+        break;
+      }
+      case OpKind::kMove:
+        out = operand(id, n.args[0]);
+        break;
+      default: {
+        const double a = n.arity() > 0 ? operand(id, n.args[0]) : 0.0;
+        const double b = n.arity() > 1 ? operand(id, n.args[1]) : 0.0;
+        const double c = n.arity() > 2 ? operand(id, n.args[2]) : 0.0;
+        out = eval(n, a, b, c);
+        break;
+      }
+    }
+    values_[static_cast<std::size_t>(id)] = out;
+  }
+  commit_iteration();
+}
+
+unsigned CgraMachine::run_iteration_cycle_accurate() {
+  const Dfg& g = kernel_->dfg;
+  const Schedule& sched = kernel_->schedule;
+
+  // Issue order: by start cycle, then NodeId. The schedule guarantees every
+  // operand is committed (producer finish <= consumer start), so issuing in
+  // start order and committing at finish reproduces the hardware exactly.
+  struct Event {
+    unsigned start;
+    NodeId node;
+  };
+  std::vector<Event> events;
+  events.reserve(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    events.push_back({sched.placement[i].start, static_cast<NodeId>(i)});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.start != b.start ? a.start < b.start : a.node < b.node;
+  });
+
+  std::vector<double> committed = values_;  // results visible to consumers
+  struct PendingWrite {
+    unsigned cycle;
+    NodeId node;
+    double value;
+  };
+  std::vector<PendingWrite> pending;
+
+  std::size_t next_event = 0;
+  for (unsigned cycle = 0; cycle <= sched.length; ++cycle) {
+    // Commit results whose latency elapsed.
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->cycle <= cycle) {
+        committed[static_cast<std::size_t>(it->node)] = it->value;
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Issue ops starting this cycle.
+    while (next_event < events.size() && events[next_event].start == cycle) {
+      const NodeId id = events[next_event].node;
+      ++next_event;
+      const Node& n = g.node(id);
+      auto read_operand = [&](NodeId producer) {
+        if (g.is_pipeline_edge(producer, id)) {
+          return pipe_regs_[static_cast<std::size_t>(producer)];
+        }
+        return committed[static_cast<std::size_t>(producer)];
+      };
+      double out = 0.0;
+      switch (n.kind) {
+        case OpKind::kConst:
+          out = quantise(n.constant);
+          break;
+        case OpKind::kParam:
+          out = param_vals_[static_cast<std::size_t>(param_index(g, id))];
+          break;
+        case OpKind::kState:
+          out = state_vals_[static_cast<std::size_t>(state_index(g, id))];
+          break;
+        case OpKind::kLoad: {
+          const DecodedAddress da = decode_address(read_operand(n.args[0]));
+          out = quantise(bus_->read(da.region, da.offset));
+          break;
+        }
+        case OpKind::kStore: {
+          const DecodedAddress da = decode_address(read_operand(n.args[0]));
+          const double val = read_operand(n.args[1]);
+          bus_->write(da.region, da.offset, val);
+          out = val;
+          break;
+        }
+        case OpKind::kMove:
+          out = read_operand(n.args[0]);
+          break;
+        default: {
+          const double a = n.arity() > 0 ? read_operand(n.args[0]) : 0.0;
+          const double b = n.arity() > 1 ? read_operand(n.args[1]) : 0.0;
+          const double c = n.arity() > 2 ? read_operand(n.args[2]) : 0.0;
+          out = eval(n, a, b, c);
+          break;
+        }
+      }
+      values_[static_cast<std::size_t>(id)] = out;
+      pending.push_back(
+          {sched.placement[static_cast<std::size_t>(id)].finish, id, out});
+    }
+  }
+  CITL_CHECK_MSG(pending.empty(), "uncommitted results after makespan");
+  commit_iteration();
+  return sched.length;
+}
+
+void CgraMachine::commit_iteration() {
+  const Dfg& g = kernel_->dfg;
+  // Pipeline registers latch this iteration's stage-0 values.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g.node(static_cast<NodeId>(i)).stage == 0) {
+      pipe_regs_[i] = values_[i];
+    }
+  }
+  // States take their update nodes' values.
+  const auto& states = g.states();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    state_vals_[i] = values_[static_cast<std::size_t>(states[i].update)];
+  }
+  ++iterations_;
+}
+
+}  // namespace citl::cgra

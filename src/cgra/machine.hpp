@@ -1,0 +1,79 @@
+// CGRA machine: executes a compiled kernel.
+//
+// Two execution modes with identical results (a tested invariant):
+//   * functional  — evaluates the dataflow graph in topological order; fast,
+//                   used for long closed-loop runs,
+//   * cycle-accurate — walks the schedule cycle by cycle, issuing each
+//                   operation on its PE at its context slot and committing
+//                   results at op latency; IO hits the bus at the scheduled
+//                   cycle. This mode is the software twin of the overlay and
+//                   provides the deterministic timing the paper relies on.
+//
+// Arithmetic is performed in IEEE binary32 by default — the overlay's PEs
+// are single-precision floating-point operators — with an optional binary64
+// mode for precision studies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cgra/schedule.hpp"
+#include "cgra/sensor.hpp"
+
+namespace citl::cgra {
+
+enum class Precision { kFloat32, kFloat64 };
+
+class CgraMachine {
+ public:
+  /// The machine keeps a reference to the kernel and the bus; both must
+  /// outlive it.
+  CgraMachine(const CompiledKernel& kernel, SensorBus& bus,
+              Precision precision = Precision::kFloat32);
+
+  /// Resets states to their initial values and clears pipeline registers.
+  void reset();
+
+  /// Sets a runtime parameter (by kernel-source name).
+  void set_param(const std::string& name, double value);
+  [[nodiscard]] double param(const std::string& name) const;
+
+  /// Reads / overrides a loop-carried state (by kernel-source name).
+  [[nodiscard]] double state(const std::string& name) const;
+  void set_state(const std::string& name, double value);
+
+  /// Runs one loop iteration functionally.
+  void run_iteration();
+
+  /// Runs one loop iteration cycle-by-cycle; returns the number of CGRA
+  /// clock ticks consumed (== schedule length).
+  unsigned run_iteration_cycle_accurate();
+
+  /// Value computed for `node` in the most recent iteration.
+  [[nodiscard]] double value(NodeId node) const;
+
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return iterations_;
+  }
+  [[nodiscard]] const CompiledKernel& kernel() const noexcept {
+    return *kernel_;
+  }
+
+ private:
+  [[nodiscard]] double eval(const Node& n, double a, double b, double c);
+  [[nodiscard]] double operand(NodeId consumer, NodeId producer) const;
+  void commit_iteration();
+  [[nodiscard]] double quantise(double v) const noexcept;
+
+  const CompiledKernel* kernel_;
+  SensorBus* bus_;
+  Precision precision_;
+  std::vector<double> values_;      ///< current-iteration node results
+  std::vector<double> pipe_regs_;   ///< previous-iteration stage-0 results
+  std::vector<double> state_vals_;  ///< current state values (by state index)
+  std::vector<double> param_vals_;  ///< current param values (by param index)
+  std::vector<NodeId> topo_;
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace citl::cgra

@@ -1,0 +1,143 @@
+// CGRA operator set.
+//
+// The paper's CGRA uses "basic floating point and square-root operators"
+// (§III-C) plus a SensorAccess port for IO. Operators are grouped into
+// classes so an architecture description can say which classes each PE
+// implements (e.g. only some PEs carry the expensive divider/rooter, only
+// the IO PE talks to the sensor bus).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace citl::cgra {
+
+enum class OpKind : std::uint8_t {
+  kConst,    // literal
+  kParam,    // runtime parameter (set via the parameter interface)
+  kState,    // loop-carried value (previous iteration's update)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kSqrt,
+  kNeg,
+  kAbs,
+  kMin,
+  kMax,
+  kFloor,
+  kSin,      // CORDIC sine
+  kCos,      // CORDIC cosine
+  kCmpLt,    // a < b  -> 1.0 / 0.0
+  kCmpLe,
+  kCmpEq,
+  kSelect,   // c != 0 ? a : b (predicated execution — CGRAs have no branches)
+  kLoad,     // sensor_read(addr)
+  kStore,    // sensor_write(addr, value); value result = value (pass-through)
+  kMove,     // routing hop inserted by the scheduler
+};
+
+/// Hardware capability classes a PE may implement.
+enum class OpClass : std::uint8_t {
+  kAlu,      // add/sub/neg/abs/min/max/floor/compare/select/const
+  kMul,      // multiplier
+  kDivSqrt,  // iterative divider & square-rooter
+  kCordic,   // CORDIC rotator for trigonometric functions (§III-C)
+  kMem,      // sensor bus access (load/store)
+  kRoute,    // pass-through register (every PE has this)
+};
+
+[[nodiscard]] constexpr OpClass op_class(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kMul:
+      return OpClass::kMul;
+    case OpKind::kDiv:
+    case OpKind::kSqrt:
+      return OpClass::kDivSqrt;
+    case OpKind::kSin:
+    case OpKind::kCos:
+      return OpClass::kCordic;
+    case OpKind::kLoad:
+    case OpKind::kStore:
+      return OpClass::kMem;
+    case OpKind::kMove:
+      return OpClass::kRoute;
+    default:
+      return OpClass::kAlu;
+  }
+}
+
+/// Number of value operands the op consumes.
+[[nodiscard]] constexpr unsigned op_arity(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kConst:
+    case OpKind::kParam:
+    case OpKind::kState:
+      return 0;
+    case OpKind::kNeg:
+    case OpKind::kAbs:
+    case OpKind::kSqrt:
+    case OpKind::kFloor:
+    case OpKind::kSin:
+    case OpKind::kCos:
+    case OpKind::kLoad:
+    case OpKind::kMove:
+      return 1;
+    case OpKind::kSelect:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+[[nodiscard]] constexpr bool op_commutative(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kMul:
+    case OpKind::kMin:
+    case OpKind::kMax:
+    case OpKind::kCmpEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] constexpr std::string_view op_name(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kConst: return "const";
+    case OpKind::kParam: return "param";
+    case OpKind::kState: return "state";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kDiv: return "div";
+    case OpKind::kSqrt: return "sqrt";
+    case OpKind::kNeg: return "neg";
+    case OpKind::kAbs: return "abs";
+    case OpKind::kMin: return "min";
+    case OpKind::kMax: return "max";
+    case OpKind::kFloor: return "floor";
+    case OpKind::kSin: return "sin";
+    case OpKind::kCos: return "cos";
+    case OpKind::kCmpLt: return "cmplt";
+    case OpKind::kCmpLe: return "cmple";
+    case OpKind::kCmpEq: return "cmpeq";
+    case OpKind::kSelect: return "select";
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kMove: return "move";
+  }
+  return "?";
+}
+
+/// True for ops that are pure dataflow nodes (no side effects, no sources).
+[[nodiscard]] constexpr bool op_is_source(OpKind k) noexcept {
+  return k == OpKind::kConst || k == OpKind::kParam || k == OpKind::kState;
+}
+
+[[nodiscard]] constexpr bool op_has_side_effect(OpKind k) noexcept {
+  return k == OpKind::kStore || k == OpKind::kLoad;
+}
+
+}  // namespace citl::cgra

@@ -1,0 +1,13 @@
+// Recursive-descent parser for the kernel language (grammar in lexer.hpp).
+#pragma once
+
+#include <string_view>
+
+#include "cgra/ast.hpp"
+
+namespace citl::cgra {
+
+/// Parses kernel source into an AST. Throws CompileError with location info.
+[[nodiscard]] Program parse(std::string_view source);
+
+}  // namespace citl::cgra

@@ -1,0 +1,429 @@
+#include "cgra/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "cgra/lower.hpp"
+#include "core/error.hpp"
+
+namespace citl::cgra {
+
+namespace {
+
+/// Deterministic L-shaped route: rows first, then columns. Returns the PEs
+/// visited after leaving `from`, ending at `to` (empty when from == to).
+std::vector<PeId> route_path(PeId from, PeId to) {
+  std::vector<PeId> path;
+  PeId cur = from;
+  while (cur.row != to.row) {
+    cur.row += (to.row > cur.row) ? 1 : -1;
+    path.push_back(cur);
+  }
+  while (cur.col != to.col) {
+    cur.col += (to.col > cur.col) ? 1 : -1;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+/// Mutable occupancy tables used while scheduling.
+class Occupancy {
+ public:
+  explicit Occupancy(const CgraArch& arch)
+      : arch_(arch),
+        busy_(static_cast<std::size_t>(arch.pe_count())),
+        route_(static_cast<std::size_t>(arch.pe_count())) {}
+
+  [[nodiscard]] bool pe_free(PeId pe, unsigned start, unsigned len) const {
+    const auto& b = busy_[static_cast<std::size_t>(arch_.index(pe))];
+    for (unsigned c = start; c < start + len; ++c) {
+      if (c < b.size() && b[c]) return false;
+    }
+    return true;
+  }
+
+  void reserve_pe(PeId pe, unsigned start, unsigned len) {
+    auto& b = busy_[static_cast<std::size_t>(arch_.index(pe))];
+    if (b.size() < start + len) b.resize(start + len, 0);
+    for (unsigned c = start; c < start + len; ++c) b[c] = 1;
+  }
+
+  [[nodiscard]] bool route_free(PeId pe, unsigned cycle) const {
+    const auto& r = route_[static_cast<std::size_t>(arch_.index(pe))];
+    return cycle >= r.size() || r[cycle] < arch_.route_ports_per_pe;
+  }
+
+  [[nodiscard]] unsigned route_used(PeId pe, unsigned cycle) const {
+    const auto& r = route_[static_cast<std::size_t>(arch_.index(pe))];
+    return cycle < r.size() ? r[cycle] : 0u;
+  }
+
+  void reserve_route(PeId pe, unsigned cycle) {
+    auto& r = route_[static_cast<std::size_t>(arch_.index(pe))];
+    if (r.size() <= cycle) r.resize(cycle + 1, 0);
+    ++r[cycle];
+  }
+
+ private:
+  const CgraArch& arch_;
+  std::vector<std::vector<std::uint8_t>> busy_;
+  std::vector<std::vector<std::uint8_t>> route_;
+};
+
+class ListScheduler {
+ public:
+  ListScheduler(const Dfg& dfg, const CgraArch& arch)
+      : dfg_(dfg), arch_(arch), occ_(arch) {}
+
+  Schedule run() {
+    arch_.validate();
+    dfg_.validate();
+    check_capabilities();
+
+    const auto crit = dfg_.criticality(arch_.latency);
+    const std::size_t n = dfg_.size();
+    placement_.resize(n);
+    placed_.assign(n, false);
+
+    // Remaining intra-iteration predecessor counts.
+    std::vector<int> pending(n, 0);
+    std::vector<std::vector<NodeId>> succs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (NodeId p : dfg_.intra_preds(static_cast<NodeId>(i))) {
+        ++pending[i];
+        succs[static_cast<std::size_t>(p)].push_back(static_cast<NodeId>(i));
+      }
+    }
+
+    std::vector<NodeId> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pending[i] == 0) ready.push_back(static_cast<NodeId>(i));
+    }
+
+    std::size_t scheduled = 0;
+    while (scheduled < n) {
+      CITL_CHECK_MSG(!ready.empty(), "scheduler wedged: no ready node");
+      // Pick the ready node with the longest remaining critical path.
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < ready.size(); ++i) {
+        const auto a = static_cast<std::size_t>(ready[i]);
+        const auto b = static_cast<std::size_t>(ready[best]);
+        if (crit[a] > crit[b] || (crit[a] == crit[b] && ready[i] < ready[best])) {
+          best = i;
+        }
+      }
+      const NodeId v = ready[best];
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+      place(v);
+      placed_[static_cast<std::size_t>(v)] = true;
+      ++scheduled;
+      for (NodeId s : succs[static_cast<std::size_t>(v)]) {
+        if (--pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      }
+    }
+
+    Schedule sched;
+    sched.placement = std::move(placement_);
+    sched.hops = std::move(hops_);
+    unsigned length = 0;
+    for (const auto& p : sched.placement) length = std::max(length, p.finish);
+    // Cross-iteration edges (pipeline registers, state feedback) must close
+    // within one initiation interval: value written in iteration k, read in
+    // iteration k+1 => start[consumer] + L >= finish[producer] + distance.
+    for (std::size_t i = 0; i < dfg_.size(); ++i) {
+      const Node& node = dfg_.node(static_cast<NodeId>(i));
+      for (unsigned a = 0; a < node.arity(); ++a) {
+        const NodeId p = node.args[a];
+        if (!dfg_.is_pipeline_edge(p, static_cast<NodeId>(i))) continue;
+        length = std::max(length, cross_iteration_bound(
+                                      sched, p, static_cast<NodeId>(i)));
+      }
+    }
+    for (const auto& sv : dfg_.states()) {
+      length = std::max(length, cross_iteration_bound(sched, sv.update, sv.node));
+    }
+    sched.length = length;
+    return sched;
+  }
+
+ private:
+  [[nodiscard]] unsigned cross_iteration_bound(const Schedule& sched,
+                                               NodeId producer,
+                                               NodeId consumer) const {
+    const auto& pp = sched.placement[static_cast<std::size_t>(producer)];
+    const auto& pc = sched.placement[static_cast<std::size_t>(consumer)];
+    const int d = CgraArch::distance(pp.pe, pc.pe);
+    const long need = static_cast<long>(pp.finish) + d -
+                      static_cast<long>(pc.start);
+    return need > 0 ? static_cast<unsigned>(need) : 0u;
+  }
+
+  void check_capabilities() const {
+    for (const Node& node : dfg_.nodes()) {
+      const OpClass c = op_class(node.kind);
+      bool ok = false;
+      for (const auto& pe : arch_.pes) {
+        if (pe.supports(c)) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) {
+        throw ConfigError(std::string("no PE supports operator class for '") +
+                          std::string(op_name(node.kind)) + "'");
+      }
+    }
+  }
+
+  /// Earliest cycle at which `value` (already placed) can be delivered to
+  /// `dest`, given route-port availability; appends the chosen forwarding
+  /// slots to `hops` (not yet globally reserved). Slots already planned in
+  /// `hops` for this candidate count against the port budget too — two
+  /// operands of one node may contend for the same intermediate PE.
+  [[nodiscard]] unsigned plan_delivery(NodeId value, PeId dest,
+                                       std::vector<RouteHop>* hops) const {
+    const auto& pp = placement_[static_cast<std::size_t>(value)];
+    const auto cached = delivered_.find({value, arch_.index(dest)});
+    if (cached != delivered_.end()) return cached->second;
+    const auto path = route_path(pp.pe, dest);
+    if (path.empty()) return pp.finish;  // produced in place
+    auto slot_free = [&](PeId pe, unsigned cycle) {
+      if (!occ_.route_free(pe, cycle)) return false;
+      unsigned planned = 0;
+      for (const RouteHop& h : *hops) {
+        if (h.pe == pe && h.cycle == cycle) ++planned;
+      }
+      // occ_.route_free only says "< ports"; planned hops eat the remainder.
+      unsigned used = occ_.route_used(pe, cycle);
+      return used + planned < arch_.route_ports_per_pe;
+    };
+    // Try increasing departure delays until all intermediate route ports
+    // are free. The final hop lands in the consumer's input register and
+    // does not occupy a route port.
+    for (unsigned delay = 0;; ++delay) {
+      bool ok = true;
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        if (!slot_free(path[h],
+                       pp.finish + delay + static_cast<unsigned>(h) + 1)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+          hops->push_back(RouteHop{
+              value, path[h], pp.finish + delay + static_cast<unsigned>(h) + 1});
+        }
+        return pp.finish + delay + static_cast<unsigned>(path.size());
+      }
+      CITL_CHECK_MSG(delay < 4096, "routing livelock");
+    }
+  }
+
+  void place(NodeId v) {
+    const Node& node = dfg_.node(v);
+    const unsigned lat = arch_.latency.of(node.kind);
+    const OpClass cls = op_class(node.kind);
+
+    auto preds = dfg_.intra_preds(v);
+    // A node may use the same value twice (x*x); one delivery suffices.
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+
+    unsigned best_start = ~0u;
+    PeId best_pe{};
+    std::vector<RouteHop> best_hops;
+
+    for (int idx = 0; idx < arch_.pe_count(); ++idx) {
+      const PeId pe = arch_.pe_at(idx);
+      if (!arch_.caps(pe).supports(cls)) continue;
+
+      std::vector<RouteHop> hops;
+      unsigned lb = 0;
+      for (NodeId p : preds) {
+        lb = std::max(lb, plan_delivery(p, pe, &hops));
+      }
+      unsigned t = lb;
+      while (!occ_.pe_free(pe, t, lat)) ++t;
+      if (t < best_start ||
+          (t == best_start && hops.size() < best_hops.size())) {
+        best_start = t;
+        best_pe = pe;
+        best_hops = std::move(hops);
+      }
+    }
+    CITL_CHECK_MSG(best_start != ~0u, "no feasible PE for node");
+
+    occ_.reserve_pe(best_pe, best_start, lat);
+    for (const RouteHop& h : best_hops) {
+      occ_.reserve_route(h.pe, h.cycle);
+      hops_.push_back(h);
+    }
+    for (NodeId p : preds) {
+      delivered_[{p, arch_.index(best_pe)}] =
+          std::max(placement_[static_cast<std::size_t>(p)].finish,
+                   best_start);  // conservative: value parked at input
+    }
+    placement_[static_cast<std::size_t>(v)] =
+        Placement{best_pe, best_start, best_start + lat};
+  }
+
+  const Dfg& dfg_;
+  const CgraArch& arch_;
+  Occupancy occ_;
+  std::vector<Placement> placement_;
+  std::vector<bool> placed_;
+  std::vector<RouteHop> hops_;
+  std::map<std::pair<NodeId, int>, unsigned> delivered_;
+};
+
+}  // namespace
+
+Schedule schedule_dfg(const Dfg& dfg, const CgraArch& arch) {
+  ListScheduler s(dfg, arch);
+  Schedule sched = s.run();
+  verify_schedule(dfg, arch, sched);
+  return sched;
+}
+
+CompiledKernel compile_kernel(std::string_view source, const CgraArch& arch) {
+  CompiledKernel k;
+  k.dfg = compile_to_dfg(source);
+  k.arch = arch;
+  k.schedule = schedule_dfg(k.dfg, arch);
+  return k;
+}
+
+void verify_schedule(const Dfg& dfg, const CgraArch& arch,
+                     const Schedule& schedule) {
+  CITL_CHECK_MSG(schedule.placement.size() == dfg.size(),
+                 "placement size mismatch");
+  // Capability + latency + PE exclusivity.
+  std::map<std::pair<int, unsigned>, int> pe_busy;  // (pe index, cycle) -> node
+  for (std::size_t i = 0; i < dfg.size(); ++i) {
+    const Node& n = dfg.node(static_cast<NodeId>(i));
+    const Placement& p = schedule.placement[i];
+    CITL_CHECK_MSG(arch.caps(p.pe).supports(op_class(n.kind)),
+                   "node placed on incapable PE");
+    CITL_CHECK_MSG(p.finish == p.start + arch.latency.of(n.kind),
+                   "placement latency mismatch");
+    for (unsigned c = p.start; c < p.finish; ++c) {
+      const auto key = std::make_pair(arch.index(p.pe), c);
+      CITL_CHECK_MSG(!pe_busy.contains(key), "two ops overlap on one PE");
+      pe_busy[key] = static_cast<int>(i);
+    }
+  }
+  // Precedence with routing distance for intra-iteration edges.
+  for (std::size_t i = 0; i < dfg.size(); ++i) {
+    const Placement& pc = schedule.placement[i];
+    for (NodeId pred : dfg.intra_preds(static_cast<NodeId>(i))) {
+      const Placement& pp = schedule.placement[static_cast<std::size_t>(pred)];
+      const int d = CgraArch::distance(pp.pe, pc.pe);
+      CITL_CHECK_MSG(pc.start >= pp.finish + static_cast<unsigned>(d),
+                     "operand not deliverable before consumer start");
+    }
+  }
+  // Route-port limits.
+  std::map<std::pair<int, unsigned>, unsigned> route_count;
+  for (const RouteHop& h : schedule.hops) {
+    const auto key = std::make_pair(arch.index(h.pe), h.cycle);
+    CITL_CHECK_MSG(++route_count[key] <= arch.route_ports_per_pe,
+                   "route port oversubscribed");
+  }
+  // Cross-iteration closure.
+  auto check_cross = [&](NodeId producer, NodeId consumer) {
+    const Placement& pp = schedule.placement[static_cast<std::size_t>(producer)];
+    const Placement& pc = schedule.placement[static_cast<std::size_t>(consumer)];
+    const int d = CgraArch::distance(pp.pe, pc.pe);
+    CITL_CHECK_MSG(static_cast<long>(pc.start) + schedule.length >=
+                       static_cast<long>(pp.finish) + d,
+                   "cross-iteration edge does not close within II");
+  };
+  for (std::size_t i = 0; i < dfg.size(); ++i) {
+    const Node& n = dfg.node(static_cast<NodeId>(i));
+    for (unsigned a = 0; a < n.arity(); ++a) {
+      if (dfg.is_pipeline_edge(n.args[a], static_cast<NodeId>(i))) {
+        check_cross(n.args[a], static_cast<NodeId>(i));
+      }
+    }
+  }
+  for (const auto& sv : dfg.states()) check_cross(sv.update, sv.node);
+  // Makespan covers every op.
+  for (const Placement& p : schedule.placement) {
+    CITL_CHECK_MSG(p.finish <= schedule.length, "op finishes after makespan");
+  }
+}
+
+ScheduleStats schedule_stats(const Dfg& dfg, const CgraArch& arch,
+                             const Schedule& schedule) {
+  ScheduleStats st;
+  st.length = schedule.length;
+  const auto crit = dfg.criticality(arch.latency);
+  for (unsigned c : crit) st.critical_path = std::max(st.critical_path, c);
+  st.cp_efficiency =
+      st.length > 0 ? static_cast<double>(st.critical_path) / st.length : 0.0;
+
+  std::vector<unsigned> busy(static_cast<std::size_t>(arch.pe_count()), 0);
+  unsigned total_busy = 0;
+  for (std::size_t i = 0; i < dfg.size(); ++i) {
+    const Placement& p = schedule.placement[i];
+    const unsigned cycles = p.finish - p.start;
+    busy[static_cast<std::size_t>(arch.index(p.pe))] += cycles;
+    total_busy += cycles;
+  }
+  st.pe_utilisation =
+      st.length > 0
+          ? static_cast<double>(total_busy) /
+                (static_cast<double>(arch.pe_count()) * st.length)
+          : 0.0;
+  for (int i = 0; i < arch.pe_count(); ++i) {
+    if (busy[static_cast<std::size_t>(i)] > st.busiest_pe_cycles) {
+      st.busiest_pe_cycles = busy[static_cast<std::size_t>(i)];
+      st.busiest_pe = arch.pe_at(i);
+    }
+  }
+  st.route_hops = schedule.hops.size();
+  return st;
+}
+
+std::string CompiledKernel::dump_contexts() const {
+  // Group operations and route hops per PE, ordered by cycle — this is the
+  // content that would be loaded into each PE's context memory.
+  struct Entry {
+    unsigned cycle;
+    std::string text;
+  };
+  std::vector<std::vector<Entry>> per_pe(
+      static_cast<std::size_t>(arch.pe_count()));
+  for (std::size_t i = 0; i < dfg.size(); ++i) {
+    const Node& n = dfg.node(static_cast<NodeId>(i));
+    const Placement& p = schedule.placement[i];
+    std::ostringstream os;
+    os << op_name(n.kind) << " %" << i;
+    for (unsigned a = 0; a < n.arity(); ++a) os << " %" << n.args[a];
+    if (n.kind == OpKind::kConst) os << " = " << n.constant;
+    if (!n.name.empty()) os << " [" << n.name << "]";
+    per_pe[static_cast<std::size_t>(arch.index(p.pe))].push_back(
+        {p.start, os.str()});
+  }
+  for (const RouteHop& h : schedule.hops) {
+    per_pe[static_cast<std::size_t>(arch.index(h.pe))].push_back(
+        {h.cycle, "route %" + std::to_string(h.value)});
+  }
+  std::ostringstream os;
+  os << "schedule length: " << schedule.length << " ticks\n";
+  for (int idx = 0; idx < arch.pe_count(); ++idx) {
+    auto& entries = per_pe[static_cast<std::size_t>(idx)];
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.cycle < b.cycle; });
+    const PeId pe = arch.pe_at(idx);
+    os << "PE(" << pe.row << ',' << pe.col << "):\n";
+    for (const auto& e : entries) {
+      os << "  @" << e.cycle << "  " << e.text << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace citl::cgra

@@ -1,0 +1,101 @@
+// Resource-constrained list scheduler (§III-C: "a customised resource-
+// constrained list scheduler") mapping dataflow nodes onto (PE, cycle) slots.
+//
+// Model:
+//   * each PE executes at most one operation at a time and is busy for the
+//     operation's full latency (the overlay's operators are not internally
+//     pipelined),
+//   * an operand produced on PE A and consumed on PE B travels over the
+//     nearest-neighbour mesh, one hop per cycle, along a deterministic
+//     L-shaped route; every intermediate PE forwards at most
+//     `route_ports_per_pe` values per cycle,
+//   * nodes may only be placed on PEs whose capability set contains the
+//     node's operator class,
+//   * pipeline edges (stage 0 -> stage 1, see ir.hpp) impose no precedence
+//     within the iteration — the consumer reads a register written in the
+//     previous iteration. They do constrain the iteration interval: the
+//     register must be written before it is read one iteration later.
+//
+// The resulting schedule length (makespan, in CGRA clock ticks) is the
+// initiation interval of the per-revolution loop and directly limits the
+// maximum revolution frequency the simulator can sustain (§IV-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cgra/arch.hpp"
+#include "cgra/ir.hpp"
+
+namespace citl::cgra {
+
+/// Where and when a node executes.
+struct Placement {
+  PeId pe;
+  unsigned start = 0;   ///< first busy cycle
+  unsigned finish = 0;  ///< start + latency; result available at `finish`
+};
+
+/// One interconnect hop of a routed operand (for occupancy accounting and
+/// context generation).
+struct RouteHop {
+  NodeId value = kNoNode;  ///< the value being forwarded
+  PeId pe;                 ///< PE whose route port forwards it
+  unsigned cycle = 0;      ///< cycle in which the hop happens
+};
+
+struct Schedule {
+  std::vector<Placement> placement;  ///< indexed by NodeId
+  std::vector<RouteHop> hops;
+  unsigned length = 0;  ///< makespan = initiation interval [CGRA ticks]
+
+  /// Max revolution frequency this schedule sustains at `clock_hz`.
+  [[nodiscard]] double max_revolution_frequency_hz(double clock_hz) const {
+    return clock_hz / static_cast<double>(length);
+  }
+};
+
+/// A kernel compiled for a concrete architecture.
+struct CompiledKernel {
+  Dfg dfg;
+  CgraArch arch;
+  Schedule schedule;
+
+  /// Per-PE context-memory listing (human-readable), the artefact that would
+  /// be written into the bitstream's context memories.
+  [[nodiscard]] std::string dump_contexts() const;
+};
+
+/// Schedules a validated DFG onto the architecture. Throws ConfigError when
+/// the graph needs capabilities the architecture lacks.
+[[nodiscard]] Schedule schedule_dfg(const Dfg& dfg, const CgraArch& arch);
+
+/// Parse + lower + schedule.
+[[nodiscard]] CompiledKernel compile_kernel(std::string_view source,
+                                            const CgraArch& arch);
+
+/// Aggregate quality metrics of a schedule.
+struct ScheduleStats {
+  unsigned length = 0;           ///< makespan / initiation interval
+  unsigned critical_path = 0;    ///< latency lower bound of the DFG
+  double cp_efficiency = 0.0;    ///< critical_path / length (1.0 = optimal)
+  double pe_utilisation = 0.0;   ///< busy PE-cycles / (PEs · length)
+  std::size_t route_hops = 0;    ///< interconnect forwards inserted
+  unsigned busiest_pe_cycles = 0;
+  PeId busiest_pe{};
+};
+
+/// Computes utilisation and bound metrics for a schedule.
+[[nodiscard]] ScheduleStats schedule_stats(const Dfg& dfg,
+                                           const CgraArch& arch,
+                                           const Schedule& schedule);
+
+/// Verifies a schedule against its DFG and architecture: precedence with
+/// routing delays, capability and occupancy constraints, route-port limits,
+/// and the cross-iteration constraint on pipeline edges. Throws
+/// std::logic_error naming the first violation. Used by tests and asserted
+/// after every compile.
+void verify_schedule(const Dfg& dfg, const CgraArch& arch,
+                     const Schedule& schedule);
+
+}  // namespace citl::cgra

@@ -1,0 +1,59 @@
+// Error handling helpers.
+//
+// Library-internal invariants use CITL_CHECK (always on, throws
+// std::logic_error) so misuse is loud in tests and benches alike. User-facing
+// configuration problems throw ConfigError with a descriptive message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace citl {
+
+/// Thrown when a user-supplied configuration is inconsistent.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when kernel-language source fails to compile for the CGRA.
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(const std::string& what, int line, int column)
+      : std::runtime_error(what + " (line " + std::to_string(line) +
+                           ", column " + std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CITL_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace citl
+
+#define CITL_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::citl::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define CITL_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::citl::detail::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)

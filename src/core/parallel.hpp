@@ -1,0 +1,74 @@
+// Minimal shared-memory parallelism substrate.
+//
+// The ensemble tracker and some benches parallelise over particles. We keep a
+// small fixed thread pool (created once, reused) and a blocking parallel_for
+// with static chunking — the loop bodies are compute-bound and uniform, so
+// static scheduling is both fastest and deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace citl {
+
+/// A fixed-size pool of worker threads executing fork/join style tasks.
+///
+/// Usage:
+///   ThreadPool pool;                       // hardware_concurrency workers
+///   pool.parallel_for(0, n, [&](std::size_t i) { ... });
+/// The call blocks until every index has been processed. Exceptions thrown by
+/// the body are rethrown on the calling thread (first one wins).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;  // + caller thread
+  }
+
+  /// Runs body(i) for every i in [begin, end), splitting the range into
+  /// contiguous chunks, one per participating thread. Blocks until done.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: body(chunk_begin, chunk_end) — lets callers hoist
+  /// per-thread state (e.g. an Rng stream) out of the inner loop.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Returns the process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunks = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void run_chunk(const Job& job, std::size_t chunk_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace citl

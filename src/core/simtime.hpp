@@ -1,0 +1,53 @@
+// Discrete simulation time.
+//
+// The hardware framework runs at a fixed sample clock (250 MHz on the
+// FMC151 daughter card); the CGRA has its own clock (111 MHz in the paper).
+// Sample-level simulation advances in integer ticks of the sample clock;
+// helpers convert between ticks and seconds for a given rate.
+#pragma once
+
+#include <cstdint>
+
+namespace citl {
+
+/// One tick of a fixed-rate digital clock.
+using Tick = std::int64_t;
+
+/// A fixed-frequency clock domain. Converts between ticks and seconds.
+class ClockDomain {
+ public:
+  constexpr explicit ClockDomain(double frequency_hz) noexcept
+      : frequency_hz_(frequency_hz), period_s_(1.0 / frequency_hz) {}
+
+  [[nodiscard]] constexpr double frequency_hz() const noexcept {
+    return frequency_hz_;
+  }
+  [[nodiscard]] constexpr double period_s() const noexcept {
+    return period_s_;
+  }
+
+  [[nodiscard]] constexpr double to_seconds(Tick t) const noexcept {
+    return static_cast<double>(t) * period_s_;
+  }
+  /// Nearest tick for a point in time (rounds to nearest).
+  [[nodiscard]] constexpr Tick to_ticks(double seconds) const noexcept {
+    const double t = seconds * frequency_hz_;
+    return static_cast<Tick>(t >= 0 ? t + 0.5 : t - 0.5);
+  }
+  /// Tick count fully elapsed at `seconds` (rounds down).
+  [[nodiscard]] constexpr Tick floor_ticks(double seconds) const noexcept {
+    return static_cast<Tick>(seconds * frequency_hz_);
+  }
+
+ private:
+  double frequency_hz_;
+  double period_s_;
+};
+
+/// The FMC151 converter clock used by the paper's framework design.
+inline constexpr ClockDomain kSampleClock{250.0e6};
+
+/// The CGRA clock the paper reports (limited by FPGA timing closure).
+inline constexpr ClockDomain kCgraClock{111.0e6};
+
+}  // namespace citl

@@ -1,0 +1,49 @@
+// Physical constants and unit helpers used throughout the library.
+//
+// Conventions:
+//   * energies are electron volts (eV) unless a suffix says otherwise,
+//   * times are seconds, frequencies Hz, lengths metres, voltages volts,
+//   * angles are radians internally; degree helpers are provided because the
+//     paper quotes phase jumps in degrees.
+#pragma once
+
+#include <numbers>
+
+namespace citl {
+
+/// Speed of light in vacuum [m/s] (exact, SI 2019).
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Elementary charge [C] (exact, SI 2019).
+inline constexpr double kElementaryCharge = 1.602'176'634e-19;
+
+/// Atomic mass unit [eV/c^2] (CODATA 2018).
+inline constexpr double kAtomicMassUnitEv = 931'494'102.42;
+
+/// Electron rest mass [eV/c^2] (CODATA 2018).
+inline constexpr double kElectronMassEv = 510'998.950;
+
+/// Proton rest mass [eV/c^2] (CODATA 2018).
+inline constexpr double kProtonMassEv = 938'272'088.16;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Degrees -> radians.
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept {
+  return deg * kPi / 180.0;
+}
+
+/// Radians -> degrees.
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / kPi;
+}
+
+/// Wraps an angle to (-pi, pi].
+[[nodiscard]] inline double wrap_angle(double rad) noexcept {
+  while (rad > kPi) rad -= kTwoPi;
+  while (rad <= -kPi) rad += kTwoPi;
+  return rad;
+}
+
+}  // namespace citl

@@ -1,0 +1,65 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace citl::ctrl {
+
+namespace {
+
+sig::FirFilter make_lowpass(const ControllerConfig& c) {
+  CITL_CHECK_MSG(c.f_pass_hz > 0.0 && c.f_pass_hz < c.sample_rate_hz / 2.0,
+                 "f_pass must be below Nyquist of the controller rate");
+  return sig::FirFilter(
+      sig::design_lowpass(c.fir_taps, c.f_pass_hz / c.sample_rate_hz));
+}
+
+}  // namespace
+
+BeamPhaseController::BeamPhaseController(const ControllerConfig& config)
+    : config_(config), lowpass_(make_lowpass(config)) {
+  CITL_CHECK_MSG(config.recursion >= 0.0 && config.recursion < 1.0,
+                 "recursion factor must be in [0, 1)");
+}
+
+void BeamPhaseController::reset() {
+  lowpass_.reset();
+  dc_prev_in_ = 0.0;
+  dc_prev_out_ = 0.0;
+  primed_ = false;
+  last_correction_hz_ = 0.0;
+}
+
+double BeamPhaseController::update(double phase_rad) {
+  const double x = lowpass_.process(phase_rad);
+  // DC blocker: y_n = x_n − x_{n−1} + r·y_{n−1}. Priming with the first
+  // sample avoids a spurious step response at loop closure.
+  if (!primed_) {
+    dc_prev_in_ = x;
+    primed_ = true;
+  }
+  const double y = x - dc_prev_in_ + config_.recursion * dc_prev_out_;
+  dc_prev_in_ = x;
+  dc_prev_out_ = y;
+
+  const double df = config_.gain * config_.gain_scale_hz_per_rad * y;
+  last_correction_hz_ =
+      std::clamp(df, -config_.max_correction_hz, config_.max_correction_hz);
+  return last_correction_hz_;
+}
+
+PhaseDecimator::PhaseDecimator(std::size_t factor) : factor_(factor) {
+  CITL_CHECK_MSG(factor >= 1, "decimation factor must be at least 1");
+}
+
+bool PhaseDecimator::feed(double phase_rad) {
+  acc_ += phase_rad;
+  if (++count_ < factor_) return false;
+  output_ = acc_ / static_cast<double>(factor_);
+  acc_ = 0.0;
+  count_ = 0;
+  return true;
+}
+
+}  // namespace citl::ctrl

@@ -1,0 +1,89 @@
+// Digital beam-phase control loop (§V; structure after Klingbeil et al.,
+// "A Digital Beam-Phase Control System for Heavy-Ion Synchrotrons", 2007).
+//
+// Signal path:
+//   bunch phase Δφ  →  decimating average (revolution rate → controller
+//   rate)  →  FIR lowpass with pass frequency f_pass  →  DC-blocking
+//   recursion stage  y_n = x_n − x_{n−1} + r·y_{n−1}  →  gain  →  gap-DDS
+//   *frequency* correction Δf.
+//
+// Why this damps: around the synchrotron frequency the DC blocker is
+// transparent (unity gain, ≈0° phase), so the loop commands a gap-frequency
+// offset proportional to the bunch phase error. Since gap phase is the
+// integral of frequency, the closed-loop characteristic equation
+// s³ + ωs²·s − ωs²·K = 0 places the oscillatory poles at ≈ −K/2 ± jωs —
+// proportional-to-phase *frequency* actuation is damping. The recursion
+// factor r (paper: 0.99) sets the DC-blocking corner so the constant phase
+// offset visible in Fig. 5 is never acted upon; f_pass (paper: 1.4 kHz,
+// just above f_s = 1.28 kHz) rejects measurement noise above the
+// synchrotron band.
+//
+// The paper's dimensionless gain of −5 is mapped to physical Hz/rad by
+// `gain_scale_hz_per_rad`; the default is tuned so gain = −5 reproduces the
+// damping envelope of Fig. 5 (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+
+#include "sig/fir.hpp"
+
+namespace citl::ctrl {
+
+struct ControllerConfig {
+  double f_pass_hz = 1400.0;    ///< FIR lowpass pass frequency (paper value)
+  double gain = -5.0;           ///< dimensionless loop gain (paper value)
+  double recursion = 0.99;      ///< DC-blocker recursion factor (paper value)
+  double sample_rate_hz = 100'000.0;  ///< controller rate after decimation
+  std::size_t fir_taps = 15;
+  double gain_scale_hz_per_rad = 50.0;  ///< Hz of Δf per rad at gain = 1
+  double max_correction_hz = 2000.0;     ///< actuator saturation
+};
+
+class BeamPhaseController {
+ public:
+  explicit BeamPhaseController(const ControllerConfig& config);
+
+  /// Feeds one phase measurement [rad] taken at the controller sample rate.
+  /// Returns the gap-frequency correction [Hz] to apply until the next
+  /// update.
+  double update(double phase_rad);
+
+  /// Resets all filter state (loop opening).
+  void reset();
+
+  [[nodiscard]] const ControllerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] double last_correction_hz() const noexcept {
+    return last_correction_hz_;
+  }
+
+ private:
+  ControllerConfig config_;
+  sig::FirFilter lowpass_;
+  double dc_prev_in_ = 0.0;
+  double dc_prev_out_ = 0.0;
+  bool primed_ = false;
+  double last_correction_hz_ = 0.0;
+};
+
+/// Decimating front end: averages `factor` revolution-rate phase samples
+/// into one controller-rate sample (simple integrate-and-dump).
+class PhaseDecimator {
+ public:
+  explicit PhaseDecimator(std::size_t factor);
+
+  /// Feeds one revolution-rate sample; returns true when an output sample is
+  /// ready (fetch it with output()).
+  bool feed(double phase_rad);
+  [[nodiscard]] double output() const noexcept { return output_; }
+  [[nodiscard]] std::size_t factor() const noexcept { return factor_; }
+
+ private:
+  std::size_t factor_;
+  std::size_t count_ = 0;
+  double acc_ = 0.0;
+  double output_ = 0.0;
+};
+
+}  // namespace citl::ctrl

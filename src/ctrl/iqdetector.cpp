@@ -1,0 +1,38 @@
+#include "ctrl/iqdetector.hpp"
+
+#include "core/error.hpp"
+
+namespace citl::ctrl {
+
+IqPhaseDetector::IqPhaseDetector(ClockDomain clock, int harmonic,
+                                 double averaging_revolutions)
+    : clock_(clock),
+      harmonic_(harmonic),
+      averaging_revolutions_(averaging_revolutions) {
+  CITL_CHECK_MSG(harmonic >= 1, "harmonic must be at least 1");
+  CITL_CHECK_MSG(averaging_revolutions > 0.0,
+                 "averaging window must be positive");
+}
+
+void IqPhaseDetector::set_reference(double crossing_tick,
+                                    double period_ticks) noexcept {
+  crossing_tick_ = crossing_tick;
+  period_ticks_ = period_ticks;
+  if (period_ticks > 0.0) {
+    // One-pole coefficient for a time constant of N reference periods.
+    alpha_ = 1.0 / (averaging_revolutions_ * period_ticks);
+    if (alpha_ > 1.0) alpha_ = 1.0;
+  }
+}
+
+void IqPhaseDetector::feed_beam(Tick now, double beam_v) noexcept {
+  if (period_ticks_ <= 0.0) return;  // no reference lock yet
+  const double theta = kTwoPi * static_cast<double>(harmonic_) *
+                       (static_cast<double>(now) - crossing_tick_) /
+                       period_ticks_;
+  // The factor 2 makes I/Q read the actual first-harmonic amplitude.
+  i_ += alpha_ * (2.0 * beam_v * std::cos(theta) - i_);
+  q_ += alpha_ * (2.0 * beam_v * std::sin(theta) - q_);
+}
+
+}  // namespace citl::ctrl

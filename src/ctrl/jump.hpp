@@ -1,0 +1,49 @@
+// Phase-jump stimulus programme (§V).
+//
+// In the paper's test setup an arbitrary waveform generator, converted by
+// the calibration electronics (CEL) into the optical phase stream, toggles
+// the gap DDS phase by 8° every twentieth of a second, emulating the 10°
+// jumps of the machine development experiment. This class is that AWG: a
+// square-wave phase programme evaluated against experiment time.
+#pragma once
+
+#include <cmath>
+
+#include "core/units.hpp"
+
+namespace citl::ctrl {
+
+class PhaseJumpProgramme {
+ public:
+  /// `amplitude_rad`: the phase toggles between 0 and `amplitude_rad`.
+  /// `interval_s`: time between toggles (paper: 1/20 s).
+  /// `start_s`: time of the first toggle.
+  PhaseJumpProgramme(double amplitude_rad, double interval_s,
+                     double start_s = 0.0) noexcept
+      : amplitude_rad_(amplitude_rad),
+        interval_s_(interval_s),
+        start_s_(start_s) {}
+
+  /// Gap phase offset commanded at experiment time `t`.
+  [[nodiscard]] double phase_rad(double t_s) const noexcept {
+    if (t_s < start_s_) return 0.0;
+    const auto toggles =
+        static_cast<long long>(std::floor((t_s - start_s_) / interval_s_)) + 1;
+    return (toggles % 2 != 0) ? amplitude_rad_ : 0.0;
+  }
+
+  /// The paper's stimulus: 8 degrees, every 1/20 s.
+  [[nodiscard]] static PhaseJumpProgramme paper(double start_s = 0.01) {
+    return PhaseJumpProgramme(deg_to_rad(8.0), 0.05, start_s);
+  }
+
+  [[nodiscard]] double amplitude_rad() const noexcept { return amplitude_rad_; }
+  [[nodiscard]] double interval_s() const noexcept { return interval_s_; }
+
+ private:
+  double amplitude_rad_;
+  double interval_s_;
+  double start_s_;
+};
+
+}  // namespace citl::ctrl

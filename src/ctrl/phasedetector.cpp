@@ -1,0 +1,44 @@
+#include "ctrl/phasedetector.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace citl::ctrl {
+
+PulsePhaseDetector::PulsePhaseDetector(ClockDomain clock, double threshold_v,
+                                       int harmonic)
+    : clock_(clock), threshold_v_(threshold_v), harmonic_(harmonic) {
+  CITL_CHECK_MSG(threshold_v > 0.0, "detector threshold must be positive");
+  CITL_CHECK_MSG(harmonic >= 1, "harmonic must be at least 1");
+}
+
+std::optional<PhaseSample> PulsePhaseDetector::feed_beam(Tick now,
+                                                         double beam_v) {
+  if (beam_v >= threshold_v_) {
+    in_pulse_ = true;
+    w_sum_ += beam_v;
+    wt_sum_ += beam_v * static_cast<double>(now);
+    return std::nullopt;
+  }
+  if (!in_pulse_) return std::nullopt;
+
+  // Pulse just ended: emit its centroid-based phase.
+  in_pulse_ = false;
+  const double centroid_tick = wt_sum_ / w_sum_;
+  w_sum_ = 0.0;
+  wt_sum_ = 0.0;
+  ++pulses_;
+  if (period_ticks_ <= 0.0) return std::nullopt;  // no reference lock yet
+
+  const double bucket_ticks = period_ticks_ / static_cast<double>(harmonic_);
+  const double offset = centroid_tick - crossing_tick_;
+  // Position within the nearest bucket, as an angle at the gap frequency.
+  const double frac =
+      offset / bucket_ticks - std::round(offset / bucket_ticks);
+  return PhaseSample{clock_.to_seconds(static_cast<Tick>(centroid_tick)),
+                     frac * kTwoPi};
+}
+
+}  // namespace citl::ctrl

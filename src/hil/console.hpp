@@ -1,0 +1,52 @@
+// Operator console — the role the SpartanMC soft-core plays over its serial
+// port (§III-B): a small text command interface through which an operator
+// (or a host script) inspects and reconfigures the running simulator without
+// touching the CGRA bitstream.
+//
+// Commands (one per line; `help` lists them):
+//   status                      framework counters and lock state
+//   schedule                    compiled-kernel schedule statistics
+//   get <register>              read a parameter-bus register
+//   set <register> <value>      write a parameter-bus register
+//   param <name> [value]        read/write a kernel runtime parameter
+//   state <name> [value]        read/override a kernel loop state
+//   monitor phase|beam          select the monitoring DAC source (§III-A)
+//   record on|off|clear         trace recording control
+//   pulse <sigma_ns> <amp_v>    reshape the Gauss beam pulse (§VI)
+//   control on|off              open/close the beam-phase loop
+//   run <seconds>               advance the simulation
+//   trace [n]                   print the last n phase samples (default 5)
+#pragma once
+
+#include <string>
+
+#include "hil/framework.hpp"
+
+namespace citl::hil {
+
+class Console {
+ public:
+  explicit Console(Framework& framework) : fw_(framework) {}
+
+  /// Executes one command line; returns the textual response. Unknown or
+  /// malformed commands return an "error: ..." line (and last_ok() false) —
+  /// a console must never throw at the operator.
+  std::string execute(const std::string& line);
+
+  [[nodiscard]] bool last_ok() const noexcept { return last_ok_; }
+
+ private:
+  std::string ok(std::string text) {
+    last_ok_ = true;
+    return text;
+  }
+  std::string error(const std::string& what) {
+    last_ok_ = false;
+    return "error: " + what;
+  }
+
+  Framework& fw_;
+  bool last_ok_ = true;
+};
+
+}  // namespace citl::hil

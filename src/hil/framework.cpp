@@ -1,0 +1,247 @@
+#include "hil/framework.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "phys/relativity.hpp"
+
+namespace citl::hil {
+
+/// Sensor bus backed by the framework's capture buffers and pulse timer.
+class Framework::FrameworkBus final : public cgra::SensorBus {
+ public:
+  explicit FrameworkBus(Framework& fw) : fw_(fw) {}
+
+  double read(cgra::SensorRegion region, double offset) override {
+    switch (region) {
+      case cgra::SensorRegion::kPeriod:
+        return offset < 0.5
+                   ? fw_.period_det_.period_seconds(kSampleClock)
+                   : 1.0 / fw_.period_det_.period_seconds(kSampleClock);
+      case cgra::SensorRegion::kRefBuf:
+        return buffered_read(fw_.ref_buf_, offset);
+      case cgra::SensorRegion::kGapBuf:
+        return buffered_read(fw_.gap_buf_, offset);
+      default:
+        CITL_CHECK_MSG(false, "read from a write-only sensor region");
+        return 0.0;
+    }
+  }
+
+  void write(cgra::SensorRegion region, double offset, double value) override {
+    switch (region) {
+      case cgra::SensorRegion::kActuator: {
+        // `value` is the bunch's arrival time relative to the zero crossing
+        // [s]; arm the Gauss pulse for the *next* passage (§III-B).
+        const auto bunch = static_cast<int>(offset + 0.5);
+        const double fs = kSampleClock.frequency_hz();
+        const double period_ticks = fw_.period_det_.period_ticks();
+        const double bucket_ticks =
+            period_ticks / static_cast<double>(fw_.config_.kernel.ring.harmonic);
+        const double center = fw_.last_crossing_tick_ + period_ticks +
+                              value * fs +
+                              static_cast<double>(bunch) * bucket_ticks;
+        fw_.pulse_gen_.schedule(center);
+        return;
+      }
+      case cgra::SensorRegion::kMonitor:
+        monitor_value = value;
+        return;
+      default:
+        CITL_CHECK_MSG(false, "write to a read-only sensor region");
+    }
+  }
+
+  double monitor_value = 0.0;
+
+ private:
+  /// Reads relative to the *previous* zero crossing so that even late
+  /// arrivals (positive offsets) lie in already-captured history — this is
+  /// why the paper's buffers hold two full reference cycles.
+  [[nodiscard]] double buffered_read(const sig::CaptureBuffer& buf,
+                                     double offset) const {
+    const double base = std::floor(fw_.prev_crossing_tick_);
+    const Tick t = static_cast<Tick>(base) + static_cast<Tick>(offset);
+    if (!buf.retained(t)) return 0.0;  // before capture started
+    return buf.read(t);
+  }
+
+  Framework& fw_;
+};
+
+Framework::Framework(const FrameworkConfig& config)
+    : config_(config),
+      ref_dds_(kSampleClock, config.f_ref_hz, config.ref_amplitude_v),
+      gap_dds_(kSampleClock,
+               config.f_ref_hz *
+                   static_cast<double>(config.kernel.ring.harmonic),
+               config.gap_amplitude_v),
+      gap2_dds_(kSampleClock,
+                2.0 * config.f_ref_hz *
+                    static_cast<double>(config.kernel.ring.harmonic),
+                config.gap_amplitude_v * std::abs(config.gap_h2_ratio)),
+      adc_ref_(sig::Adc::fmc151(config.adc_noise_rms_v, 11)),
+      adc_gap_(sig::Adc::fmc151(config.adc_noise_rms_v, 12)),
+      dac_beam_(sig::Dac::fmc151()),
+      dac_monitor_(sig::Dac::fmc151()),
+      ref_buf_(config.buffer_depth_log2),
+      gap_buf_(config.buffer_depth_log2),
+      // Comparator hysteresis: a tenth of the expected amplitude, with a
+      // 10 mV floor so a dead/weak reference cannot chatter the detector.
+      zero_cross_(std::max(config.ref_amplitude_v * 0.1, 0.01)),
+      period_det_(4),
+      pulse_gen_(sig::GaussPulseShape(
+          config.pulse_sigma_s * kSampleClock.frequency_hz(),
+          config.pulse_amplitude_v)),
+      phase_det_(kSampleClock, config.detector_threshold_v,
+                 config.kernel.ring.harmonic),
+      iq_det_(kSampleClock, config.kernel.ring.harmonic,
+              config.iq_averaging_revolutions),
+      controller_(config.controller),
+      decimator_(static_cast<std::size_t>(
+          std::lround(config.f_ref_hz / config.controller.sample_rate_hz))),
+      phase_trace_("phase_rad", 1, 1u << 20),
+      correction_trace_("correction_hz", 1, 1u << 20),
+      beam_trace_("beam_v", 1, 1u << 20) {
+  // Host-side initialisation (§IV-B): gamma0 from the revolution frequency,
+  // ADC-to-gap voltage scaling baked into the kernel parameters.
+  cgra::BeamKernelConfig kc = config.kernel;
+  kc.gamma0 = phys::gamma_from_revolution_frequency(
+      config.f_ref_hz, kc.ring.circumference_m);
+  kc.v_scale = config.gap_voltage_v / config.gap_amplitude_v;
+  kernel_ = cgra::compile_kernel(cgra::beam_kernel_source(kc), config.arch);
+  bus_ = std::make_unique<FrameworkBus>(*this);
+  machine_ = std::make_unique<cgra::CgraMachine>(kernel_, *bus_);
+  control_on_ = config.control_enabled;
+  last_phase_ = std::numeric_limits<double>::quiet_NaN();
+}
+
+Framework::~Framework() = default;
+
+double Framework::time_s() const noexcept { return kSampleClock.to_seconds(now_); }
+
+void Framework::set_pulse_shape(double sigma_s, double amplitude_v) {
+  pulse_gen_.set_shape(sig::GaussPulseShape(
+      sigma_s * kSampleClock.frequency_hz(), amplitude_v));
+}
+
+void Framework::run_cgra() {
+  if (config_.cycle_accurate_cgra) {
+    machine_->run_iteration_cycle_accurate();
+  } else {
+    machine_->run_iteration();
+  }
+  ++cgra_runs_;
+  // Hard real-time check (§IV-B): the schedule must complete within one
+  // reference period at the CGRA clock.
+  const double exec_s = static_cast<double>(kernel_.schedule.length) /
+                        kernel_.arch.clock_hz;
+  if (exec_s > period_det_.period_seconds(kSampleClock)) {
+    ++realtime_violations_;
+  }
+}
+
+void Framework::on_reference_crossing() {
+  prev_crossing_tick_ = last_crossing_tick_;
+  last_crossing_tick_ = zero_cross_.last_crossing_tick();
+  period_det_.on_crossing(last_crossing_tick_);
+  phase_det_.set_reference(last_crossing_tick_, period_det_.period_ticks());
+  iq_det_.set_reference(last_crossing_tick_, period_det_.period_ticks());
+
+  // §IV-B: wait for four full sine waves before the model starts.
+  if (!initialised_) {
+    initialised_ = period_det_.valid();
+    return;
+  }
+  // The IQ demodulator delivers one phase reading per revolution.
+  if (config_.detector == PhaseDetectorKind::kIqDemodulation &&
+      iq_det_.locked()) {
+    handle_phase_sample(ctrl::PhaseSample{time_s(), iq_det_.phase_rad()});
+  }
+  run_cgra();
+}
+
+void Framework::handle_phase_sample(const ctrl::PhaseSample& sample) {
+  last_phase_ = sample.phase_rad;
+  if (params_.get("record_enable") != 0.0) {
+    phase_trace_.push(sample.time_s, sample.phase_rad);
+  }
+  // The controller acts on the bunch-vs-gap phase (bucket position); the
+  // gap phase offset is the DSP's local knowledge of its own DDS setting.
+  const double bucket_phase =
+      wrap_angle(sample.phase_rad + gap_dds_.phase_offset_rad());
+  if (decimator_.feed(bucket_phase)) {
+    correction_hz_ =
+        control_on_ ? controller_.update(decimator_.output()) : 0.0;
+    correction_trace_.push(time_s(), correction_hz_);
+  }
+}
+
+FrameworkOutputs Framework::tick() {
+  // 1. Stimulus generation. The gap DDS phase port carries the AWG jump
+  //    programme plus the integrated controller correction (Fig. 4).
+  const double jump =
+      config_.jumps ? config_.jumps->phase_rad(time_s()) : 0.0;
+  gap_dds_.set_phase_offset(jump + ctrl_phase_rad_);
+  const double ref_v = ref_dds_.tick();
+  double gap_v = gap_dds_.tick();
+  if (config_.gap_h2_ratio != 0.0) {
+    // The second cavity is phase-locked to the fundamental: a shift of θ at
+    // h·f_ref corresponds to 2θ at 2h·f_ref (rigid waveform).
+    gap2_dds_.set_phase_offset(2.0 * (jump + ctrl_phase_rad_) +
+                               config_.gap_h2_phase_rad);
+    gap_v += gap2_dds_.tick();
+  }
+
+  // 2. Acquisition: ADC -> capture buffers; detectors on the ref channel.
+  const double ref_q = adc_ref_.sample(ref_v);
+  const double gap_q = adc_gap_.sample(gap_v);
+  ref_buf_.write(now_, ref_q);
+  gap_buf_.write(now_, gap_q);
+  if (zero_cross_.feed(now_, ref_q)) on_reference_crossing();
+
+  // 3. Beam-signal synthesis.
+  const double beam_raw = pulse_gen_.sample(now_);
+  const double beam_v = dac_beam_.convert(beam_raw);
+
+  // 4. External DSP: phase detection and the closed control loop.
+  if (config_.detector == PhaseDetectorKind::kPulseCentroid) {
+    if (const auto sample = phase_det_.feed_beam(now_, beam_v)) {
+      handle_phase_sample(*sample);
+    }
+  } else {
+    iq_det_.feed_beam(now_, beam_v);
+    // Per-revolution samples are emitted at the reference crossing.
+  }
+  if (control_on_) {
+    ctrl_phase_rad_ += kTwoPi * correction_hz_ * kSampleClock.period_s();
+  }
+
+  // 5. Monitoring output (§III-A): phase difference or beam mirror.
+  const double monitor_raw =
+      params_.monitor_source() == MonitorSource::kPhaseDifference
+          ? bus_->monitor_value
+          : beam_raw;
+  const double monitor_v = dac_monitor_.convert(
+      monitor_raw * params_.get("beam_pulse_scale"));
+
+  if (params_.get("record_enable") != 0.0) {
+    beam_trace_.push(time_s(), beam_v);
+  }
+
+  ++now_;
+  return FrameworkOutputs{beam_v, monitor_v};
+}
+
+void Framework::run_ticks(std::int64_t ticks) {
+  for (std::int64_t i = 0; i < ticks; ++i) tick();
+}
+
+void Framework::run_seconds(double seconds) {
+  run_ticks(kSampleClock.to_ticks(seconds));
+}
+
+}  // namespace citl::hil

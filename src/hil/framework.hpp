@@ -1,0 +1,179 @@
+// Sample-accurate FPGA framework model (§III, Fig. 3).
+//
+// Every 250 MHz converter tick flows through the same blocks as the
+// hardware:
+//
+//   ref DDS ──► ADC ch0 ──► capture buffer ──► zero-crossing detector ──►
+//                                              period-length detector
+//   gap DDS ──► ADC ch1 ──► capture buffer
+//                             │
+//             (per reference period)  CGRA ◄── SensorAccess bus ──► buffers
+//                             │         │
+//                             ▼         ▼ actuator (Δt per bunch)
+//                        Gauss pulse generator ──► DAC ch0 (beam signal)
+//                        monitor mux            ──► DAC ch1
+//
+// The DSP phase detector and the FIR beam-phase controller close the loop
+// from the beam signal back onto the gap DDS, exactly like the external
+// electronics in the paper's test bench (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cgra/kernels.hpp"
+#include "cgra/machine.hpp"
+#include "cgra/schedule.hpp"
+#include "ctrl/controller.hpp"
+#include "ctrl/jump.hpp"
+#include "ctrl/iqdetector.hpp"
+#include "ctrl/phasedetector.hpp"
+#include "hil/parambus.hpp"
+#include "hil/recorder.hpp"
+#include "sig/converters.hpp"
+#include "sig/dds.hpp"
+#include "sig/gauss.hpp"
+#include "sig/ringbuffer.hpp"
+#include "sig/zerocross.hpp"
+
+namespace citl::hil {
+
+/// Which DSP phase-measurement style closes the loop (both exist in real
+/// LLRF firmware; the IQ demodulator averages over bunch passages and is the
+/// noise-robust choice, the pulse centroid has more bandwidth).
+enum class PhaseDetectorKind : std::uint8_t {
+  kPulseCentroid,
+  kIqDemodulation,
+};
+
+struct FrameworkConfig {
+  cgra::BeamKernelConfig kernel;
+  cgra::CgraArch arch = cgra::grid_5x5();
+  double f_ref_hz = 800.0e3;
+  double ref_amplitude_v = 0.8;
+  double gap_amplitude_v = 0.8;
+  double gap_voltage_v = 5000.0;    ///< physical gap amplitude [V]
+  /// Dual-harmonic cavity system: second gap DDS at twice the RF frequency
+  /// (amplitude ratio·gap_amplitude, relative phase; π = bunch lengthening).
+  double gap_h2_ratio = 0.0;
+  double gap_h2_phase_rad = 3.14159265358979323846;
+  double adc_noise_rms_v = 0.0;
+  unsigned buffer_depth_log2 = 13;  ///< paper: 2^13 samples per channel
+  double pulse_sigma_s = 30.0e-9;   ///< Gauss beam-pulse sigma
+  double pulse_amplitude_v = 0.6;
+  double detector_threshold_v = 0.05;
+  bool control_enabled = true;
+  PhaseDetectorKind detector = PhaseDetectorKind::kPulseCentroid;
+  double iq_averaging_revolutions = 8.0;
+  ctrl::ControllerConfig controller;
+  std::optional<ctrl::PhaseJumpProgramme> jumps;
+  bool cycle_accurate_cgra = false;
+};
+
+/// Observable outputs of one converter tick.
+struct FrameworkOutputs {
+  double beam_v = 0.0;     ///< DAC ch0: the synthetic beam signal
+  double monitor_v = 0.0;  ///< DAC ch1: phase difference or beam mirror
+};
+
+class Framework {
+ public:
+  explicit Framework(const FrameworkConfig& config);
+  ~Framework();
+
+  /// Advances one 250 MHz tick; returns the DAC outputs for that tick.
+  FrameworkOutputs tick();
+
+  /// Runs for `ticks` samples.
+  void run_ticks(std::int64_t ticks);
+  /// Runs for `seconds` of simulated time.
+  void run_seconds(double seconds);
+
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+  [[nodiscard]] double time_s() const noexcept;
+  [[nodiscard]] bool initialised() const noexcept { return initialised_; }
+  [[nodiscard]] std::int64_t cgra_runs() const noexcept { return cgra_runs_; }
+  /// Revolutions in which the CGRA schedule would not have finished within
+  /// one reference period at the configured CGRA clock (real-time misses).
+  [[nodiscard]] std::int64_t realtime_violations() const noexcept {
+    return realtime_violations_;
+  }
+
+  [[nodiscard]] const cgra::CompiledKernel& kernel() const noexcept {
+    return kernel_;
+  }
+  [[nodiscard]] cgra::CgraMachine& machine() noexcept { return *machine_; }
+  [[nodiscard]] ParameterBus& params() noexcept { return params_; }
+  [[nodiscard]] const FrameworkConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Recorded series (time-stamped), in the spirit of the DRAM recorder.
+  [[nodiscard]] const Trace& phase_trace() const noexcept {
+    return phase_trace_;
+  }
+  [[nodiscard]] const Trace& correction_trace() const noexcept {
+    return correction_trace_;
+  }
+  [[nodiscard]] const Trace& beam_trace() const noexcept {
+    return beam_trace_;
+  }
+  [[nodiscard]] Trace& beam_trace() noexcept { return beam_trace_; }
+
+  /// Most recent measured bunch phase [rad] (NaN before the first pulse).
+  [[nodiscard]] double last_phase_rad() const noexcept { return last_phase_; }
+
+  void enable_control(bool on) noexcept { control_on_ = on; }
+  [[nodiscard]] bool control_enabled() const noexcept { return control_on_; }
+
+  /// Reshapes the Gauss pulse at run time (§VI's "parametric version" —
+  /// e.g. widening the pulse as the bunch lengthens).
+  void set_pulse_shape(double sigma_s, double amplitude_v);
+
+ private:
+  class FrameworkBus;
+  void on_reference_crossing();
+  void run_cgra();
+  void handle_phase_sample(const ctrl::PhaseSample& sample);
+
+  FrameworkConfig config_;
+  cgra::CompiledKernel kernel_;
+  std::unique_ptr<FrameworkBus> bus_;
+  std::unique_ptr<cgra::CgraMachine> machine_;
+
+  sig::Dds ref_dds_;
+  sig::Dds gap_dds_;
+  sig::Dds gap2_dds_;
+  sig::Adc adc_ref_;
+  sig::Adc adc_gap_;
+  sig::Dac dac_beam_;
+  sig::Dac dac_monitor_;
+  sig::CaptureBuffer ref_buf_;
+  sig::CaptureBuffer gap_buf_;
+  sig::ZeroCrossingDetector zero_cross_;
+  sig::PeriodLengthDetector period_det_;
+  sig::GaussPulseGenerator pulse_gen_;
+  ctrl::PulsePhaseDetector phase_det_;
+  ctrl::IqPhaseDetector iq_det_;
+  ctrl::BeamPhaseController controller_;
+  ctrl::PhaseDecimator decimator_;
+  ParameterBus params_;
+
+  Tick now_ = 0;
+  bool initialised_ = false;
+  bool control_on_ = true;
+  double prev_crossing_tick_ = 0.0;
+  double last_crossing_tick_ = 0.0;
+  double ctrl_phase_rad_ = 0.0;
+  double correction_hz_ = 0.0;
+  double last_phase_ = 0.0;
+  std::int64_t cgra_runs_ = 0;
+  std::int64_t realtime_violations_ = 0;
+
+  Trace phase_trace_;
+  Trace correction_trace_;
+  Trace beam_trace_;
+};
+
+}  // namespace citl::hil

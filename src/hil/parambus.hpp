@@ -1,0 +1,60 @@
+// Parameter/monitoring interface — the role the SpartanMC soft-core plays in
+// the FPGA framework (§III-B): a small register file through which basic
+// simulation parameters, output scaling and the monitoring-source selection
+// can be changed at run time, without recompiling the CGRA kernel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace citl::hil {
+
+/// What the second DAC channel shows (§III-A: "a monitoring signal to either
+/// show the phase difference calculated in the model or mirror the generated
+/// signal, this can be adjusted at runtime").
+enum class MonitorSource : std::uint8_t {
+  kPhaseDifference,
+  kBeamSignalMirror,
+};
+
+class ParameterBus {
+ public:
+  ParameterBus() {
+    set("beam_pulse_scale", 1.0);
+    set("monitor_source",
+        static_cast<double>(MonitorSource::kPhaseDifference));
+    set("record_enable", 1.0);
+  }
+
+  void set(const std::string& name, double value) { regs_[name] = value; }
+
+  [[nodiscard]] double get(const std::string& name) const {
+    const auto it = regs_.find(name);
+    CITL_CHECK_MSG(it != regs_.end(), "unknown parameter register: " + name);
+    return it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return regs_.contains(name);
+  }
+
+  [[nodiscard]] MonitorSource monitor_source() const {
+    return static_cast<MonitorSource>(
+        static_cast<std::uint8_t>(get("monitor_source")));
+  }
+  void select_monitor(MonitorSource s) {
+    set("monitor_source", static_cast<double>(s));
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& registers() const {
+    return regs_;
+  }
+
+ private:
+  std::map<std::string, double> regs_;
+};
+
+}  // namespace citl::hil

@@ -1,0 +1,57 @@
+// Recording facility — the analog of the paper's DRAM recorder that the
+// SpartanMC exposes over the serial port (§III-B): time-stamped series with
+// optional decimation, bounded memory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace citl::hil {
+
+/// One recorded channel of (time, value) pairs.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, std::size_t decimation, std::size_t max_samples)
+      : name_(std::move(name)),
+        decimation_(decimation == 0 ? 1 : decimation),
+        max_samples_(max_samples) {}
+
+  void push(double time_s, double value) {
+    if (counter_++ % decimation_ != 0) return;
+    if (max_samples_ != 0 && times_.size() >= max_samples_) return;
+    times_.push_back(time_s);
+    values_.push_back(value);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<double>& times() const noexcept {
+    return times_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
+  [[nodiscard]] bool full() const noexcept {
+    return max_samples_ != 0 && times_.size() >= max_samples_;
+  }
+
+  void clear() {
+    times_.clear();
+    values_.clear();
+    counter_ = 0;
+  }
+
+ private:
+  std::string name_;
+  std::size_t decimation_ = 1;
+  std::size_t max_samples_ = 0;  ///< 0 = unbounded
+  std::size_t counter_ = 0;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace citl::hil

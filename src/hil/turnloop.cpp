@@ -1,0 +1,203 @@
+#include "hil/turnloop.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "phys/relativity.hpp"
+
+namespace citl::hil {
+
+/// Analytic sensor bus: answers ring-buffer reads with closed-form DDS
+/// evaluations at the exact points the capture buffers would have sampled.
+class TurnLoop::AnalyticBus final : public cgra::SensorBus {
+ public:
+  AnalyticBus(double f_ref_hz, double sample_rate_hz, int harmonic,
+              double ref_amplitude_v, double gap_amplitude_v,
+              double h2_ratio, double h2_phase_rad)
+      : f_ref_(f_ref_hz),
+        fs_(sample_rate_hz),
+        harmonic_(harmonic),
+        ref_amp_(ref_amplitude_v),
+        gap_amp_(gap_amplitude_v),
+        h2_ratio_(h2_ratio),
+        h2_phase_(h2_phase_rad) {}
+
+  double read(cgra::SensorRegion region, double offset) override {
+    switch (region) {
+      case cgra::SensorRegion::kPeriod:
+        return offset < 0.5 ? measured_period_s : 1.0 / f_ref_;
+      case cgra::SensorRegion::kRefBuf: {
+        // Offset is in capture ticks relative to the positive zero crossing
+        // of the reference sine — which is where its phase is 0.
+        const double t = offset / fs_;
+        return ref_amp_ * std::sin(kTwoPi * f_ref_ * t);
+      }
+      case cgra::SensorRegion::kGapBuf: {
+        const double t = offset / fs_;
+        const double theta =
+            kTwoPi * f_ref_ * static_cast<double>(harmonic_) * t +
+            gap_phase_rad;
+        double v = gap_amp_ * std::sin(theta);
+        if (h2_ratio_ != 0.0) {
+          // The second cavity tracks the fundamental's phase: a shift of θ
+          // at h·f_ref is 2θ at 2h·f_ref, keeping the waveform shape rigid.
+          v += gap_amp_ * h2_ratio_ * std::sin(2.0 * theta + h2_phase_);
+        }
+        return v;
+      }
+      default:
+        CITL_CHECK_MSG(false, "read from a write-only sensor region");
+        return 0.0;
+    }
+  }
+
+  void write(cgra::SensorRegion region, double offset, double value) override {
+    switch (region) {
+      case cgra::SensorRegion::kActuator: {
+        const auto j = static_cast<std::size_t>(offset + 0.5);
+        CITL_CHECK_MSG(j < arrivals.size(), "actuator bunch index out of range");
+        arrivals[j] = value;
+        return;
+      }
+      case cgra::SensorRegion::kMonitor:
+        monitor = value;
+        return;
+      default:
+        CITL_CHECK_MSG(false, "write to a read-only sensor region");
+    }
+  }
+
+  // Per-turn inputs set by the loop:
+  double measured_period_s = 0.0;
+  double gap_phase_rad = 0.0;
+  // Per-turn outputs captured from the kernel:
+  std::array<double, 16> arrivals{};
+  double monitor = 0.0;
+
+ private:
+  double f_ref_;
+  double fs_;
+  int harmonic_;
+  double ref_amp_;
+  double gap_amp_;
+  double h2_ratio_;
+  double h2_phase_;
+};
+
+TurnLoop::TurnLoop(const TurnLoopConfig& config)
+    : config_(config),
+      controller_(config.controller),
+      decimator_(static_cast<std::size_t>(
+          std::lround(config.f_ref_hz / config.controller.sample_rate_hz))),
+      noise_(config.noise_seed) {
+  CITL_CHECK_MSG(config.f_ref_hz > 0.0, "reference frequency must be positive");
+
+  // Initialise the model exactly like the paper's init phase (§IV-B): the
+  // reference energy follows from the measured revolution frequency and the
+  // orbit length; the voltage scale maps ADC volts to gap volts.
+  cgra::BeamKernelConfig kc = config.kernel;
+  kc.gamma0 = phys::gamma_from_revolution_frequency(
+      config.f_ref_hz, kc.ring.circumference_m);
+  kc.v_scale = config.gap_voltage_v / config.gap_amplitude_v;
+  kernel_ = cgra::compile_kernel(config.synthesize_waveform
+                                     ? cgra::analytic_beam_kernel_source(kc)
+                                     : cgra::beam_kernel_source(kc),
+                                 config.arch);
+
+  bus_ = std::make_unique<AnalyticBus>(config.f_ref_hz, kc.sample_rate_hz,
+                                       kc.ring.harmonic,
+                                       config.ref_amplitude_v,
+                                       config.gap_amplitude_v,
+                                       config.gap_h2_ratio,
+                                       config.gap_h2_phase_rad);
+  machine_ = std::make_unique<cgra::CgraMachine>(kernel_, *bus_);
+
+  t_ref_s_ = 1.0 / config.f_ref_hz;
+  omega_gap_ = kTwoPi * config.f_ref_hz *
+               static_cast<double>(kc.ring.harmonic);
+  control_on_ = config.control_enabled;
+}
+
+TurnLoop::~TurnLoop() = default;
+
+double TurnLoop::gap_phase_rad() const noexcept {
+  const double jump =
+      config_.jumps ? config_.jumps->phase_rad(time_s_) : 0.0;
+  return jump + ctrl_phase_rad_;
+}
+
+void TurnLoop::displace(double dgamma, double dt_s) {
+  machine_->set_state("dgamma0", dgamma);
+  machine_->set_state("dt0", dt_s);
+}
+
+TurnRecord TurnLoop::step() {
+  // 1. Present this revolution's inputs.
+  double period = t_ref_s_;
+  if (config_.quantise_period) {
+    // The hardware's period detector counts capture-clock ticks between
+    // crossings and averages four of them; at a constant input frequency the
+    // average equals the rounded single period.
+    const double fs = config_.kernel.sample_rate_hz;
+    period = std::round(period * fs) / fs;
+  }
+  bus_->measured_period_s = period;
+  bus_->gap_phase_rad = gap_phase_rad();
+  if (config_.synthesize_waveform) {
+    // The host updates the waveform parameters each revolution, the same
+    // role the SpartanMC parameter interface plays for the sampled kernel's
+    // voltage scaling.
+    machine_->set_param("v_hat", config_.gap_voltage_v);
+    machine_->set_param("gap_phase", bus_->gap_phase_rad);
+  }
+
+  // 2. Execute the compiled kernel for this revolution.
+  if (config_.cycle_accurate) {
+    machine_->run_iteration_cycle_accurate();
+  } else {
+    machine_->run_iteration();
+  }
+
+  // 3. Phase measurement on the generated beam signal (bunch 0). The plotted
+  //    quantity (Fig. 5) is the phase between beam and *reference* signal;
+  //    the controlled quantity is the phase between beam and *gap* signal —
+  //    the bunch position inside its bucket (Klingbeil 2007). Feedback on
+  //    the latter yields a plain damped second-order loop.
+  double phase = wrap_angle(bus_->arrivals[0] * omega_gap_);
+  if (config_.phase_noise_rad > 0.0) {
+    phase += noise_.gaussian(0.0, config_.phase_noise_rad);
+  }
+  const double bucket_phase = wrap_angle(phase + bus_->gap_phase_rad);
+
+  // 4. Closed-loop control at the decimated rate.
+  if (decimator_.feed(bucket_phase)) {
+    correction_hz_ = control_on_ ? controller_.update(decimator_.output())
+                                 : 0.0;
+  }
+  if (control_on_) {
+    // The gap DDS integrates the frequency correction into phase.
+    ctrl_phase_rad_ += kTwoPi * correction_hz_ * t_ref_s_;
+  }
+
+  time_s_ += t_ref_s_;
+  ++turn_;
+
+  return TurnRecord{time_s_,
+                    phase,
+                    machine_->state("dt0"),
+                    machine_->state("dgamma0"),
+                    correction_hz_,
+                    bus_->gap_phase_rad};
+}
+
+void TurnLoop::run(std::int64_t turns,
+                   const std::function<void(const TurnRecord&)>& cb) {
+  for (std::int64_t i = 0; i < turns; ++i) {
+    const TurnRecord r = step();
+    if (cb) cb(r);
+  }
+}
+
+}  // namespace citl::hil

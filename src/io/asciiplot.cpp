@@ -1,0 +1,117 @@
+#include "io/asciiplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace citl::io {
+
+namespace {
+
+std::string short_num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(4) << v;
+  return os.str();
+}
+
+struct Extent {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Extent extent_of(std::span<const double> a, std::span<const double> b = {}) {
+  Extent e{std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+  for (double v : a) {
+    if (!std::isfinite(v)) continue;
+    e.lo = std::min(e.lo, v);
+    e.hi = std::max(e.hi, v);
+  }
+  for (double v : b) {
+    if (!std::isfinite(v)) continue;
+    e.lo = std::min(e.lo, v);
+    e.hi = std::max(e.hi, v);
+  }
+  if (!(e.lo < e.hi)) {
+    e.lo -= 1.0;
+    e.hi += 1.0;
+  }
+  return e;
+}
+
+void rasterise(std::vector<std::string>& grid, std::span<const double> x,
+               std::span<const double> y, const Extent& ex, const Extent& ey,
+               char mark) {
+  const int w = static_cast<int>(grid[0].size());
+  const int h = static_cast<int>(grid.size());
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) continue;
+    const int cx = static_cast<int>(
+        std::lround((x[i] - ex.lo) / (ex.hi - ex.lo) * (w - 1)));
+    const int cy = static_cast<int>(
+        std::lround((y[i] - ey.lo) / (ey.hi - ey.lo) * (h - 1)));
+    if (cx < 0 || cx >= w || cy < 0 || cy >= h) continue;
+    grid[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] =
+        mark;
+  }
+}
+
+std::string render(const std::vector<std::string>& grid, const Extent& ex,
+                   const Extent& ey, const PlotOptions& opt) {
+  std::ostringstream os;
+  os << std::setprecision(4);
+  if (!opt.title.empty()) os << opt.title << '\n';
+  const int h = static_cast<int>(grid.size());
+  for (int r = 0; r < h; ++r) {
+    if (r == 0) {
+      os << std::setw(11) << ey.hi << " |";
+    } else if (r == h - 1) {
+      os << std::setw(11) << ey.lo << " |";
+    } else {
+      os << std::string(11, ' ') << " |";
+    }
+    os << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(12, ' ') << '+' << std::string(grid[0].size(), '-')
+     << '\n';
+  os << std::string(13, ' ') << ex.lo;
+  const std::string right = short_num(ex.hi);
+  const long pad = static_cast<long>(grid[0].size()) -
+                   static_cast<long>(right.size()) - 8;
+  os << std::string(pad > 0 ? static_cast<std::size_t>(pad) : 1, ' ') << right;
+  if (!opt.x_label.empty()) os << "  [" << opt.x_label << ']';
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace
+
+std::string ascii_plot(std::span<const double> x, std::span<const double> y,
+                       const PlotOptions& opt) {
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(opt.height),
+      std::string(static_cast<std::size_t>(opt.width), ' '));
+  const Extent ex = extent_of(x);
+  const Extent ey = extent_of(y);
+  rasterise(grid, x, y, ex, ey, '*');
+  return render(grid, ex, ey, opt);
+}
+
+std::string ascii_plot2(std::span<const double> x1, std::span<const double> y1,
+                        std::span<const double> x2, std::span<const double> y2,
+                        const PlotOptions& opt) {
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(opt.height),
+      std::string(static_cast<std::size_t>(opt.width), ' '));
+  const Extent ex = extent_of(x1, x2);
+  const Extent ey = extent_of(y1, y2);
+  rasterise(grid, x2, y2, ex, ey, 'o');
+  rasterise(grid, x1, y1, ex, ey, '*');
+  return render(grid, ex, ey, opt);
+}
+
+}  // namespace citl::io

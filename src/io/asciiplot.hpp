@@ -1,0 +1,31 @@
+// Terminal line plots so bench binaries can show the *shape* of a series
+// (Fig. 2 signal snapshots, Fig. 5 damping envelopes) without a plotting
+// stack. Good enough to eyeball oscillation frequency and decay.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace citl::io {
+
+struct PlotOptions {
+  int width = 100;    ///< character columns
+  int height = 20;    ///< character rows
+  std::string title;
+  std::string y_label;
+  std::string x_label;
+};
+
+/// Renders y(x) as an ASCII scatter/line chart with axis annotations.
+[[nodiscard]] std::string ascii_plot(std::span<const double> x,
+                                     std::span<const double> y,
+                                     const PlotOptions& options = {});
+
+/// Overlay of two series on common axes ('*' and 'o').
+[[nodiscard]] std::string ascii_plot2(std::span<const double> x1,
+                                      std::span<const double> y1,
+                                      std::span<const double> x2,
+                                      std::span<const double> y2,
+                                      const PlotOptions& options = {});
+
+}  // namespace citl::io

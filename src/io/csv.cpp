@@ -1,0 +1,38 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace citl::io {
+
+std::string csv_to_string(const std::vector<Column>& columns) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c != 0) os << ',';
+    os << columns[c].name;
+  }
+  os << '\n';
+  std::size_t rows = 0;
+  for (const auto& c : columns) rows = std::max(rows, c.values.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c != 0) os << ',';
+      if (r < columns[c].values.size()) os << columns[c].values[r];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void write_csv(const std::string& path, const std::vector<Column>& columns) {
+  std::ofstream f(path);
+  if (!f) throw ConfigError("cannot open for writing: " + path);
+  f << csv_to_string(columns);
+  if (!f) throw ConfigError("write failed: " + path);
+}
+
+}  // namespace citl::io

@@ -1,0 +1,24 @@
+// CSV output for recorded traces and bench series.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace citl::io {
+
+/// A named column of doubles.
+struct Column {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Writes columns to `path` as RFC-4180-ish CSV (header row, '.' decimal
+/// separator, full double precision). Columns may have different lengths;
+/// missing cells are left empty. Throws ConfigError on IO failure.
+void write_csv(const std::string& path, const std::vector<Column>& columns);
+
+/// Renders the same CSV to a string (used by tests).
+[[nodiscard]] std::string csv_to_string(const std::vector<Column>& columns);
+
+}  // namespace citl::io

@@ -1,0 +1,27 @@
+// Aligned console tables for bench output (the "rows the paper reports").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace citl::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; cells beyond the header count are ignored.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  [[nodiscard]] static std::string num(double v, int precision = 4);
+
+  /// Renders with column alignment and a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace citl::io

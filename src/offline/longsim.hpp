@@ -1,0 +1,90 @@
+// Offline longitudinal beam-dynamics simulator — the class of tool the
+// paper's related work cites (ESME, Long1D, BLonD, §II): a config-driven
+// many-particle tracker with RF programmes, acceleration, dual-harmonic
+// cavities and periodic diagnostics snapshots.
+//
+// "Even on powerful computers, the computation time is of course far from
+// the real-time requirements that stem from a hardware-in-the-loop setup"
+// (§II) — bench_offline quantifies exactly that against our real-time loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "phys/ensemble.hpp"
+#include "phys/multiharmonic.hpp"
+#include "phys/phasespace.hpp"
+#include "phys/rf.hpp"
+
+namespace citl::offline {
+
+struct LongSimConfig {
+  phys::Ion ion = phys::ion_n14_7plus();
+  phys::Ring ring = phys::sis18(4);
+  double f_rev0_hz = 800.0e3;       ///< initial revolution frequency
+  phys::RfProgramme programme = phys::RfProgramme::stationary(4860.0);
+  /// Dual-harmonic cavity settings (ratio 0 disables the second cavity).
+  double h2_ratio = 0.0;
+  double h2_phase_rad = 3.14159265358979323846;  ///< BLF mode
+  int h2_multiple = 2;
+
+  std::size_t n_particles = 20'000;
+  double sigma_dt_s = 25.0e-9;      ///< injected bunch length (rms)
+  std::uint64_t seed = 1;
+
+  double duration_s = 50.0e-3;
+  double snapshot_every_s = 5.0e-3;
+  std::size_t profile_bins = 64;
+  double profile_window_s = 120.0e-9;  ///< half-width of the pickup gate
+};
+
+/// Periodic diagnostics record.
+struct Snapshot {
+  double time_s = 0.0;
+  std::int64_t turn = 0;
+  double gamma_r = 0.0;
+  double f_rev_hz = 0.0;
+  double centroid_dt_s = 0.0;
+  double rms_dt_s = 0.0;
+  double rms_dgamma = 0.0;
+  double emittance = 0.0;
+  phys::Profile profile{0.0, 1.0, {}};
+};
+
+struct LongSimResult {
+  std::vector<Snapshot> snapshots;
+  std::int64_t turns_tracked = 0;
+  double wall_seconds = 0.0;  ///< measured tracking wall time
+
+  /// Wall seconds per simulated second — > 1 means slower than real time,
+  /// the §II claim about offline codes.
+  [[nodiscard]] double slowdown(double simulated_s) const {
+    return simulated_s > 0.0 ? wall_seconds / simulated_s : 0.0;
+  }
+};
+
+class LongSim {
+ public:
+  explicit LongSim(LongSimConfig config, ThreadPool* pool = nullptr);
+
+  /// Tracks the configured duration, collecting snapshots.
+  [[nodiscard]] LongSimResult run();
+
+  /// Writes a snapshot table (one row each) as CSV.
+  static void export_csv(const std::string& path, const LongSimResult& r);
+
+  [[nodiscard]] const phys::EnsembleTracker& ensemble() const {
+    return ensemble_;
+  }
+  [[nodiscard]] phys::EnsembleTracker& ensemble() { return ensemble_; }
+
+ private:
+  [[nodiscard]] Snapshot take_snapshot(double time_s) const;
+
+  LongSimConfig config_;
+  phys::EnsembleTracker ensemble_;
+};
+
+}  // namespace citl::offline

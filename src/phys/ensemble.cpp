@@ -1,0 +1,118 @@
+#include "phys/ensemble.hpp"
+
+#include <cmath>
+
+#include "core/units.hpp"
+#include "phys/relativity.hpp"
+#include "phys/synchrotron.hpp"
+
+namespace citl::phys {
+
+EnsembleTracker::EnsembleTracker(EnsembleConfig config, ThreadPool* pool)
+    : config_(std::move(config)),
+      pool_(pool),
+      rng_(config_.seed),
+      gamma_r_(config_.initial_gamma_r) {
+  CITL_CHECK_MSG(config_.n_particles > 0, "ensemble needs particles");
+  dt_.assign(config_.n_particles, 0.0);
+  dgamma_.assign(config_.n_particles, 0.0);
+}
+
+void EnsembleTracker::populate_matched(double sigma_dgamma,
+                                       double rf_amplitude_v) {
+  const double ratio = matched_dt_per_dgamma_s(config_.ion, config_.ring,
+                                               gamma_r_, rf_amplitude_v);
+  populate_gaussian(sigma_dgamma, sigma_dgamma * ratio);
+}
+
+void EnsembleTracker::populate_gaussian(double sigma_dgamma,
+                                        double sigma_dt_s) {
+  for (std::size_t i = 0; i < dt_.size(); ++i) {
+    dgamma_[i] = rng_.gaussian(0.0, sigma_dgamma);
+    dt_[i] = rng_.gaussian(0.0, sigma_dt_s);
+  }
+}
+
+void EnsembleTracker::populate_gaussian_in_bucket(double sigma_dgamma,
+                                                  double sigma_dt_s,
+                                                  double rf_amplitude_v,
+                                                  double max_action_fraction) {
+  CITL_CHECK_MSG(max_action_fraction > 0.0 && max_action_fraction <= 1.0,
+                 "action fraction must be in (0, 1]");
+  for (std::size_t i = 0; i < dt_.size(); ++i) {
+    double dg = 0.0, dt = 0.0;
+    // Rejection sampling against the bucket; the acceptance region always
+    // contains the origin, so this terminates quickly for sane sigmas.
+    for (int tries = 0;; ++tries) {
+      dg = rng_.gaussian(0.0, sigma_dgamma);
+      dt = rng_.gaussian(0.0, sigma_dt_s);
+      if (bucket_action_fraction(config_.ion, config_.ring, gamma_r_,
+                                 rf_amplitude_v, dt, dg) <=
+          max_action_fraction) {
+        break;
+      }
+      CITL_CHECK_MSG(tries < 10'000,
+                     "bunch far larger than the bucket: cannot populate");
+    }
+    dgamma_[i] = dg;
+    dt_[i] = dt;
+  }
+}
+
+void EnsembleTracker::displace(double dgamma_offset, double dt_offset_s) {
+  for (std::size_t i = 0; i < dt_.size(); ++i) {
+    dgamma_[i] += dgamma_offset;
+    dt_[i] += dt_offset_s;
+  }
+}
+
+void EnsembleTracker::step(const SineWaveform& gap, double reference_v) {
+  const double q_over_mc2 = config_.ion.charge_over_mc2();
+  // Reference energy first (eq. (2)), so the drift uses gamma_R,n.
+  gamma_r_ += q_over_mc2 * reference_v;
+  const double beta = beta_from_gamma(gamma_r_);
+  const double drift = config_.ring.circumference_m *
+                       config_.ring.phase_slip(gamma_r_) /
+                       (beta * beta * beta * gamma_r_ * kSpeedOfLight);
+
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      dgamma_[i] += q_over_mc2 * (gap(dt_[i]) - reference_v);
+      dt_[i] += drift * dgamma_[i];
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for_chunks(0, dt_.size(), body);
+  } else {
+    body(0, dt_.size());
+  }
+  ++turn_;
+}
+
+void EnsembleTracker::step_with_waveform(
+    const std::function<double(double)>& gap_voltage, double reference_v) {
+  const double q_over_mc2 = config_.ion.charge_over_mc2();
+  gamma_r_ += q_over_mc2 * reference_v;
+  const double beta = beta_from_gamma(gamma_r_);
+  const double drift = config_.ring.circumference_m *
+                       config_.ring.phase_slip(gamma_r_) /
+                       (beta * beta * beta * gamma_r_ * kSpeedOfLight);
+  for (std::size_t i = 0; i < dt_.size(); ++i) {
+    dgamma_[i] += q_over_mc2 * (gap_voltage(dt_[i]) - reference_v);
+    dt_[i] += drift * dgamma_[i];
+  }
+  ++turn_;
+}
+
+void EnsembleTracker::run(const SineWaveform& gap, std::int64_t turns) {
+  for (std::int64_t i = 0; i < turns; ++i) step(gap);
+}
+
+double EnsembleTracker::centroid_dt_s() const { return moments(dt_).mean; }
+double EnsembleTracker::centroid_dgamma() const {
+  return moments(dgamma_).mean;
+}
+double EnsembleTracker::rms_dt_s() const { return moments(dt_).rms; }
+double EnsembleTracker::rms_dgamma() const { return moments(dgamma_).rms; }
+
+}  // namespace citl::phys

@@ -1,0 +1,51 @@
+// Ion species description and the species used at GSI.
+#pragma once
+
+#include <string>
+
+#include "core/units.hpp"
+
+namespace citl::phys {
+
+/// A fully-stripped-or-not ion species circulating in the ring.
+struct Ion {
+  std::string name;     ///< e.g. "14N7+"
+  double mass_ev;       ///< rest energy m*c^2 [eV]
+  int charge_number;    ///< Q in units of the elementary charge
+
+  /// Charge-to-rest-energy ratio Q/(m c^2) [1/V] — the factor in eqs (2),(3).
+  [[nodiscard]] double charge_over_mc2() const noexcept {
+    return static_cast<double>(charge_number) / mass_ev;
+  }
+};
+
+/// Builds an ion from mass number expressed in atomic mass units, correcting
+/// for the removed electrons (binding energy neglected, ~keV level).
+[[nodiscard]] inline Ion make_ion(std::string name, double atomic_mass_u,
+                                  int charge_number) {
+  const double mass_ev = atomic_mass_u * kAtomicMassUnitEv -
+                         static_cast<double>(charge_number) * kElectronMassEv;
+  return Ion{std::move(name), mass_ev, charge_number};
+}
+
+/// ¹⁴N⁷⁺ — the species accelerated in the paper's reference MDE (Fig. 5).
+[[nodiscard]] inline Ion ion_n14_7plus() {
+  return make_ion("14N7+", 14.0030740048, 7);
+}
+
+/// U²⁸⁺ — a typical heavy SIS18 beam, used in parameter sweeps.
+[[nodiscard]] inline Ion ion_u238_28plus() {
+  return make_ion("238U28+", 238.0507884, 28);
+}
+
+/// Ar¹⁸⁺ — mid-mass fully stripped species for sweeps.
+[[nodiscard]] inline Ion ion_ar40_18plus() {
+  return make_ion("40Ar18+", 39.9623831237, 18);
+}
+
+/// Bare proton.
+[[nodiscard]] inline Ion ion_proton() {
+  return Ion{"p", kProtonMassEv, 1};
+}
+
+}  // namespace citl::phys

@@ -1,0 +1,36 @@
+// Synchrotron ring description.
+#pragma once
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace citl::phys {
+
+/// Static (ion-optics) properties of a synchrotron ring.
+struct Ring {
+  double circumference_m;    ///< l_R, reference orbit length [m]
+  double alpha_c;            ///< momentum compaction factor (eq. (4))
+  int harmonic;              ///< harmonic number h: f_RF = h * f_R
+
+  /// Transition gamma: eta crosses zero at gamma == gamma_t.
+  [[nodiscard]] double gamma_transition() const {
+    CITL_CHECK_MSG(alpha_c > 0.0, "alpha_c must be positive");
+    return 1.0 / std::sqrt(alpha_c);
+  }
+
+  /// Phase slip factor eta_R = alpha_c - 1/gamma^2 (eq. (5)).
+  [[nodiscard]] double phase_slip(double gamma) const noexcept {
+    return alpha_c - 1.0 / (gamma * gamma);
+  }
+};
+
+/// The GSI heavy-ion synchrotron SIS18 (circumference 216.72 m,
+/// gamma_t ≈ 5.45), with the harmonic number h = 4 used in the paper's
+/// evaluation (§V: four bunches, f_gap = 4 * f_ref).
+[[nodiscard]] inline Ring sis18(int harmonic = 4) {
+  constexpr double kGammaT = 5.45;
+  return Ring{216.72, 1.0 / (kGammaT * kGammaT), harmonic};
+}
+
+}  // namespace citl::phys

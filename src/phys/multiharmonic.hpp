@@ -1,0 +1,97 @@
+// Multi-harmonic gap voltages.
+//
+// SIS18 operates a dual-harmonic cavity system (the beam-phase control paper
+// the authors build on — Grieser et al. 2014, ref. [9] — is specifically
+// about it): a second cavity at a multiple of the RF frequency reshapes the
+// bucket. In bunch-lengthening mode (second harmonic in counterphase) the
+// effective focusing at the bunch centre weakens, the bucket flattens and
+// the bunch gets longer — more Landau damping, lower peak current.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "phys/ion.hpp"
+#include "phys/machine.hpp"
+#include "phys/synchrotron.hpp"
+
+namespace citl::phys {
+
+struct HarmonicComponent {
+  int multiple = 1;        ///< frequency multiple of the base RF
+  double amplitude_v = 0;  ///< cavity amplitude [V]
+  double phase_rad = 0;    ///< phase relative to the base RF
+};
+
+/// V(Δt) = Σ_k A_k · sin(k·ω·Δt + φ_k), with ω the base RF angular
+/// frequency. A single-entry sum reproduces SineWaveform.
+class MultiHarmonicWaveform {
+ public:
+  MultiHarmonicWaveform(double base_omega_rad_s,
+                        std::vector<HarmonicComponent> components)
+      : omega_(base_omega_rad_s), components_(std::move(components)) {
+    CITL_CHECK_MSG(!components_.empty(), "waveform needs components");
+    for (const auto& c : components_) {
+      CITL_CHECK_MSG(c.multiple >= 1, "harmonic multiple must be >= 1");
+    }
+  }
+
+  [[nodiscard]] double operator()(double dt_s) const noexcept {
+    double v = 0.0;
+    for (const auto& c : components_) {
+      v += c.amplitude_v *
+           std::sin(c.multiple * omega_ * dt_s + c.phase_rad);
+    }
+    return v;
+  }
+
+  /// dV/dΔt at offset dt — the focusing gradient.
+  [[nodiscard]] double slope_at(double dt_s) const noexcept {
+    double s = 0.0;
+    for (const auto& c : components_) {
+      s += c.amplitude_v * c.multiple * omega_ *
+           std::cos(c.multiple * omega_ * dt_s + c.phase_rad);
+    }
+    return s;
+  }
+
+  [[nodiscard]] double base_omega_rad_s() const noexcept { return omega_; }
+  [[nodiscard]] const std::vector<HarmonicComponent>& components() const {
+    return components_;
+  }
+
+  /// Dual-harmonic factory: fundamental amplitude `v1`, second cavity at
+  /// `multiple`·f with amplitude `ratio`·v1 and relative phase `phase2`.
+  /// phase2 = π is the SIS18 bunch-lengthening (BLF) configuration.
+  [[nodiscard]] static MultiHarmonicWaveform dual(double base_omega_rad_s,
+                                                  double v1, double ratio,
+                                                  double phase2 = kPi,
+                                                  int multiple = 2) {
+    return MultiHarmonicWaveform(
+        base_omega_rad_s,
+        {HarmonicComponent{1, v1, 0.0},
+         HarmonicComponent{multiple, v1 * ratio, phase2}});
+  }
+
+ private:
+  double omega_;
+  std::vector<HarmonicComponent> components_;
+};
+
+/// Small-amplitude synchrotron frequency under an arbitrary waveform:
+/// replaces V̂·ω·cos(φ_s) in the standard formula by the actual slope at the
+/// stable point. Throws ConfigError when the point is defocusing.
+[[nodiscard]] inline double synchrotron_frequency_hz(
+    const Ion& ion, const Ring& ring, double gamma,
+    const MultiHarmonicWaveform& wave, double dt_stable_s = 0.0) {
+  const WorkingPoint wp = working_point(ion, ring, gamma, 1.0);
+  const double kick_slope = ion.charge_over_mc2() * wave.slope_at(dt_stable_s);
+  const double mu_sq = -wp.drift_per_dgamma_s * kick_slope;
+  if (mu_sq <= 0.0) {
+    throw ConfigError("defocusing RF slope at the requested point");
+  }
+  return std::sqrt(mu_sq) * wp.revolution_frequency_hz / kTwoPi;
+}
+
+}  // namespace citl::phys

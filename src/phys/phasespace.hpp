@@ -1,0 +1,120 @@
+// Longitudinal phase-space diagnostics: moments, rms emittance, and binned
+// bunch profiles (the quantity a pickup actually sees).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace citl::phys {
+
+/// First and second moments of a particle coordinate sample.
+struct Moments {
+  double mean = 0.0;
+  double rms = 0.0;  ///< standard deviation about the mean
+};
+
+[[nodiscard]] inline Moments moments(std::span<const double> xs) {
+  CITL_CHECK_MSG(!xs.empty(), "moments of an empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(xs.size());
+  return Moments{mean, std::sqrt(var)};
+}
+
+/// RMS longitudinal emittance of (Δt, Δγ) samples:
+///   ε = sqrt( <Δt²><Δγ²> − <Δt·Δγ>² )   (centred moments).
+[[nodiscard]] inline double rms_emittance(std::span<const double> dt,
+                                          std::span<const double> dgamma) {
+  CITL_CHECK(dt.size() == dgamma.size());
+  CITL_CHECK(!dt.empty());
+  const double n = static_cast<double>(dt.size());
+  double mt = 0.0, mg = 0.0;
+  for (std::size_t i = 0; i < dt.size(); ++i) {
+    mt += dt[i];
+    mg += dgamma[i];
+  }
+  mt /= n;
+  mg /= n;
+  double stt = 0.0, sgg = 0.0, stg = 0.0;
+  for (std::size_t i = 0; i < dt.size(); ++i) {
+    const double a = dt[i] - mt;
+    const double b = dgamma[i] - mg;
+    stt += a * a;
+    sgg += b * b;
+    stg += a * b;
+  }
+  stt /= n;
+  sgg /= n;
+  stg /= n;
+  const double det = stt * sgg - stg * stg;
+  return det > 0.0 ? std::sqrt(det) : 0.0;
+}
+
+/// A binned longitudinal bunch profile over a Δt window.
+struct Profile {
+  double t_min_s;
+  double t_max_s;
+  std::vector<double> counts;  ///< per-bin particle counts
+
+  [[nodiscard]] double bin_width_s() const {
+    return (t_max_s - t_min_s) / static_cast<double>(counts.size());
+  }
+  [[nodiscard]] double bin_center_s(std::size_t i) const {
+    return t_min_s + (static_cast<double>(i) + 0.5) * bin_width_s();
+  }
+};
+
+/// Histograms the arrival times into `bins` bins over [t_min, t_max];
+/// out-of-window particles are dropped (as they would fall outside the
+/// pickup gate).
+[[nodiscard]] inline Profile bunch_profile(std::span<const double> dt,
+                                           double t_min_s, double t_max_s,
+                                           std::size_t bins) {
+  CITL_CHECK(bins > 0 && t_max_s > t_min_s);
+  Profile p{t_min_s, t_max_s, std::vector<double>(bins, 0.0)};
+  const double inv_w = static_cast<double>(bins) / (t_max_s - t_min_s);
+  for (double t : dt) {
+    if (t < t_min_s || t >= t_max_s) continue;
+    const auto b = static_cast<std::size_t>((t - t_min_s) * inv_w);
+    p.counts[b < bins ? b : bins - 1] += 1.0;
+  }
+  return p;
+}
+
+/// Gaussian fit of a profile by moments (mean / sigma of the histogram).
+struct GaussianFit {
+  double mean_s;
+  double sigma_s;
+  double amplitude;  ///< peak count of the fitted Gaussian
+};
+
+[[nodiscard]] inline GaussianFit fit_gaussian(const Profile& p) {
+  double total = 0.0, m1 = 0.0;
+  for (std::size_t i = 0; i < p.counts.size(); ++i) {
+    total += p.counts[i];
+    m1 += p.counts[i] * p.bin_center_s(i);
+  }
+  CITL_CHECK_MSG(total > 0.0, "cannot fit an empty profile");
+  const double mean = m1 / total;
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < p.counts.size(); ++i) {
+    const double d = p.bin_center_s(i) - mean;
+    m2 += p.counts[i] * d * d;
+  }
+  const double sigma = std::sqrt(m2 / total);
+  const double amp =
+      sigma > 0.0 ? total * p.bin_width_s() / (sigma * std::sqrt(2.0 * 3.141592653589793))
+                  : total;
+  return GaussianFit{mean, sigma, amp};
+}
+
+}  // namespace citl::phys

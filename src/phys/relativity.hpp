@@ -1,0 +1,70 @@
+// Special-relativistic kinematics helpers (paper §IV-A, eq. (1)).
+//
+// Throughout the library a particle's energy state is carried as the Lorentz
+// factor gamma; everything else (beta, momentum, revolution time) is derived.
+#pragma once
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace citl::phys {
+
+/// beta = v/c from gamma. Requires gamma >= 1.
+[[nodiscard]] inline double beta_from_gamma(double gamma) {
+  CITL_CHECK_MSG(gamma >= 1.0, "gamma below 1 is unphysical");
+  return std::sqrt(1.0 - 1.0 / (gamma * gamma));
+}
+
+/// gamma from beta = v/c. Requires 0 <= beta < 1.
+[[nodiscard]] inline double gamma_from_beta(double beta) {
+  CITL_CHECK_MSG(beta >= 0.0 && beta < 1.0, "beta outside [0,1)");
+  return 1.0 / std::sqrt(1.0 - beta * beta);
+}
+
+/// Momentum in eV/c for a particle of rest energy mc2_ev [eV].
+[[nodiscard]] inline double momentum_ev(double gamma, double mc2_ev) {
+  return beta_from_gamma(gamma) * gamma * mc2_ev;
+}
+
+/// gamma from momentum [eV/c] and rest energy [eV].
+[[nodiscard]] inline double gamma_from_momentum(double p_ev, double mc2_ev) {
+  const double r = p_ev / mc2_ev;
+  return std::sqrt(1.0 + r * r);
+}
+
+/// Kinetic energy [eV].
+[[nodiscard]] inline double kinetic_energy_ev(double gamma, double mc2_ev) {
+  return (gamma - 1.0) * mc2_ev;
+}
+
+/// Total energy [eV].
+[[nodiscard]] inline double total_energy_ev(double gamma, double mc2_ev) {
+  return gamma * mc2_ev;
+}
+
+/// Revolution time [s] on an orbit of length l [m] at Lorentz factor gamma.
+[[nodiscard]] inline double revolution_time_s(double gamma, double orbit_m) {
+  return orbit_m / (beta_from_gamma(gamma) * kSpeedOfLight);
+}
+
+/// Revolution frequency [Hz] on an orbit of length l [m].
+[[nodiscard]] inline double revolution_frequency_hz(double gamma,
+                                                    double orbit_m) {
+  return beta_from_gamma(gamma) * kSpeedOfLight / orbit_m;
+}
+
+/// gamma for a given revolution frequency on a given orbit.
+[[nodiscard]] inline double gamma_from_revolution_frequency(double f_hz,
+                                                            double orbit_m) {
+  return gamma_from_beta(f_hz * orbit_m / kSpeedOfLight);
+}
+
+/// Relative momentum deviation dp/p for a relative gamma deviation dg/g:
+/// dp/p = (1/beta^2) * dgamma/gamma (exact to first order).
+[[nodiscard]] inline double dp_over_p(double dgamma_over_gamma, double beta) {
+  return dgamma_over_gamma / (beta * beta);
+}
+
+}  // namespace citl::phys

@@ -1,0 +1,48 @@
+#include "phys/rf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace citl::phys {
+
+void Ramp::add_point(double time_s, double value) {
+  CITL_CHECK_MSG(points_.empty() || time_s >= points_.back().time_s,
+                 "ramp breakpoints must be time-ordered");
+  points_.push_back({time_s, value});
+}
+
+double Ramp::at(double time_s) const {
+  CITL_CHECK_MSG(!points_.empty(), "ramp has no breakpoints");
+  if (time_s <= points_.front().time_s) return points_.front().value;
+  if (time_s >= points_.back().time_s) return points_.back().value;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), time_s,
+      [](double t, const Point& p) { return t < p.time_s; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double span = hi.time_s - lo.time_s;
+  if (span <= 0.0) return hi.value;
+  const double f = (time_s - lo.time_s) / span;
+  return lo.value + f * (hi.value - lo.value);
+}
+
+RfProgramme RfProgramme::stationary(double amplitude_v) {
+  return RfProgramme(Ramp(amplitude_v), Ramp(0.0));
+}
+
+RfProgramme RfProgramme::linear_ramp(double amp0_v, double amp1_v,
+                                     double phi_s_rad, double ramp_s) {
+  Ramp amp;
+  amp.add_point(0.0, amp0_v);
+  amp.add_point(ramp_s, amp1_v);
+  Ramp phi;
+  phi.add_point(0.0, 0.0);
+  phi.add_point(ramp_s, phi_s_rad);
+  return RfProgramme(std::move(amp), std::move(phi));
+}
+
+double RfProgramme::reference_voltage_v(double time_s) const {
+  return amplitude_.at(time_s) * std::sin(sync_phase_.at(time_s));
+}
+
+}  // namespace citl::phys

@@ -1,0 +1,72 @@
+// RF programme: how gap-voltage amplitude and synchronous phase evolve over
+// a machine cycle. The paper's evaluation uses the stationary case (constant
+// energy, synchronous phase 0); the ramp-up case it announces as ongoing work
+// (§VI) is modelled with piecewise-linear amplitude/phase ramps.
+#pragma once
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace citl::phys {
+
+/// A piecewise-linear function of time, defined by breakpoints. Evaluates to
+/// the first value before the first breakpoint and to the last value after
+/// the last one.
+class Ramp {
+ public:
+  Ramp() = default;
+  /// Constant ramp.
+  explicit Ramp(double value) { points_.push_back({0.0, value}); }
+
+  /// Appends a breakpoint; times must be non-decreasing.
+  void add_point(double time_s, double value);
+
+  [[nodiscard]] double at(double time_s) const;
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+ private:
+  struct Point {
+    double time_s;
+    double value;
+  };
+  std::vector<Point> points_;
+};
+
+/// The RF programme of one machine cycle.
+///
+/// * amplitude_v(t):   gap-voltage amplitude V̂ [V]
+/// * sync_phase_rad(t): synchronous phase φ_s; 0 for the stationary case
+/// The per-turn energy gain of the reference particle (eq. (2)) is
+/// Q * V̂(t) * sin(φ_s(t)).
+class RfProgramme {
+ public:
+  RfProgramme(Ramp amplitude, Ramp sync_phase)
+      : amplitude_(std::move(amplitude)), sync_phase_(std::move(sync_phase)) {}
+
+  /// Stationary bucket: constant amplitude, φ_s = 0, no net acceleration.
+  [[nodiscard]] static RfProgramme stationary(double amplitude_v);
+
+  /// Linear acceleration ramp: amplitude raised from `amp0_v` to `amp1_v`
+  /// and synchronous phase from 0 to `phi_s_rad` over [0, ramp_s], constant
+  /// afterwards.
+  [[nodiscard]] static RfProgramme linear_ramp(double amp0_v, double amp1_v,
+                                               double phi_s_rad,
+                                               double ramp_s);
+
+  [[nodiscard]] double amplitude_v(double time_s) const {
+    return amplitude_.at(time_s);
+  }
+  [[nodiscard]] double sync_phase_rad(double time_s) const {
+    return sync_phase_.at(time_s);
+  }
+  /// Voltage seen by the reference particle at cycle time t (eq. (2) input).
+  [[nodiscard]] double reference_voltage_v(double time_s) const;
+
+ private:
+  Ramp amplitude_;
+  Ramp sync_phase_;
+};
+
+}  // namespace citl::phys

@@ -1,0 +1,96 @@
+#include "phys/synchrotron.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "phys/relativity.hpp"
+
+namespace citl::phys {
+
+WorkingPoint working_point(const Ion& ion, const Ring& ring, double gamma,
+                           double rf_amplitude_v, double sync_phase_rad) {
+  WorkingPoint wp;
+  wp.gamma = gamma;
+  wp.beta = beta_from_gamma(gamma);
+  wp.eta = ring.phase_slip(gamma);
+  wp.revolution_time_s = revolution_time_s(gamma, ring.circumference_m);
+  wp.revolution_frequency_hz = 1.0 / wp.revolution_time_s;
+  wp.rf_omega_rad_s = kTwoPi * ring.harmonic * wp.revolution_frequency_hz;
+  wp.drift_per_dgamma_s =
+      ring.circumference_m * wp.eta /
+      (wp.beta * wp.beta * wp.beta * gamma * kSpeedOfLight);
+  wp.kick_slope_per_s = ion.charge_over_mc2() * rf_amplitude_v *
+                        wp.rf_omega_rad_s * std::cos(sync_phase_rad);
+  return wp;
+}
+
+double synchrotron_frequency_hz(const Ion& ion, const Ring& ring, double gamma,
+                                double rf_amplitude_v, double sync_phase_rad) {
+  const WorkingPoint wp =
+      working_point(ion, ring, gamma, rf_amplitude_v, sync_phase_rad);
+  // Small oscillations of the discrete map have per-turn phase advance
+  // mu = sqrt(-drift * kick_slope); stability requires the product < 0
+  // (below transition eta < 0 and the kick slope is positive, as at SIS18).
+  const double mu_sq = -wp.drift_per_dgamma_s * wp.kick_slope_per_s;
+  if (mu_sq <= 0.0) {
+    throw ConfigError(
+        "longitudinally unstable working point: eta*cos(phi_s) has the "
+        "wrong sign (check gamma vs gamma_transition)");
+  }
+  const double mu = std::sqrt(mu_sq);
+  return mu * wp.revolution_frequency_hz / kTwoPi;
+}
+
+double synchrotron_tune(const Ion& ion, const Ring& ring, double gamma,
+                        double rf_amplitude_v, double sync_phase_rad) {
+  return synchrotron_frequency_hz(ion, ring, gamma, rf_amplitude_v,
+                                  sync_phase_rad) *
+         revolution_time_s(gamma, ring.circumference_m);
+}
+
+double amplitude_for_synchrotron_frequency(const Ion& ion, const Ring& ring,
+                                           double gamma, double f_sync_hz) {
+  // f_s scales with sqrt(V̂): invert analytically from a 1 V probe.
+  const double f1 = synchrotron_frequency_hz(ion, ring, gamma, 1.0);
+  const double r = f_sync_hz / f1;
+  return r * r;
+}
+
+double separatrix_dgamma(const Ion& ion, const Ring& ring, double gamma,
+                         double rf_amplitude_v, double dphi_rad) {
+  const WorkingPoint wp = working_point(ion, ring, gamma, rf_amplitude_v);
+  // Stationary-bucket Hamiltonian level through (Δφ = ±π, Δγ = 0):
+  //   Δγ_sep(Δφ) = sqrt( 2·(Q·V̂/mc²) · (1 + cos Δφ) / (ω_RF·|drift|) ).
+  const double qv = ion.charge_over_mc2() * rf_amplitude_v;
+  const double denom = wp.rf_omega_rad_s * std::abs(wp.drift_per_dgamma_s);
+  const double level = 2.0 * qv * (1.0 + std::cos(dphi_rad)) / denom;
+  return level > 0.0 ? std::sqrt(level) : 0.0;
+}
+
+double bucket_half_height_dgamma(const Ion& ion, const Ring& ring,
+                                 double gamma, double rf_amplitude_v) {
+  return separatrix_dgamma(ion, ring, gamma, rf_amplitude_v, 0.0);
+}
+
+double bucket_action_fraction(const Ion& ion, const Ring& ring, double gamma,
+                              double rf_amplitude_v, double dt_s,
+                              double dgamma) {
+  const WorkingPoint wp = working_point(ion, ring, gamma, rf_amplitude_v);
+  const double half = bucket_half_height_dgamma(ion, ring, gamma,
+                                                rf_amplitude_v);
+  const double phi = wp.rf_omega_rad_s * dt_s;
+  const double r = dgamma / half;
+  return r * r + 0.5 * (1.0 - std::cos(phi));
+}
+
+double matched_dt_per_dgamma_s(const Ion& ion, const Ring& ring, double gamma,
+                               double rf_amplitude_v) {
+  const WorkingPoint wp = working_point(ion, ring, gamma, rf_amplitude_v);
+  const double mu_sq = -wp.drift_per_dgamma_s * wp.kick_slope_per_s;
+  CITL_CHECK_MSG(mu_sq > 0.0, "matched bunch requires a stable bucket");
+  // On the matched ellipse Δt_amp/Δγ_amp = |drift| / mu.
+  return std::abs(wp.drift_per_dgamma_s) / std::sqrt(mu_sq);
+}
+
+}  // namespace citl::phys

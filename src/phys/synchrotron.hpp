@@ -1,0 +1,83 @@
+// Analytic longitudinal-dynamics results used to configure experiments and
+// to validate the trackers: small-amplitude synchrotron frequency, bucket
+// geometry (separatrix), and matched-bunch parameters.
+//
+// All formulas are for a single-harmonic sinusoidal gap voltage
+//   V(Δt) = V̂ · sin(ω_RF·Δt + φ_s)
+// with ω_RF = 2π·h·f_R, in the convention of the paper (Δt > 0 = late).
+#pragma once
+
+#include "phys/ion.hpp"
+#include "phys/machine.hpp"
+
+namespace citl::phys {
+
+/// Bundle of per-turn map coefficients at a given working point.
+///
+/// The linearised two-particle map per revolution is
+///   Δγ' = Δγ + kick_slope_per_s · Δt
+///   Δt' = Δt + drift_per_dgamma_s · Δγ'
+/// with kick_slope_per_s = (Q/mc²)·V̂·ω_RF·cos(φ_s) and
+/// drift_per_dgamma_s = l_R·η/(β³γc).
+struct WorkingPoint {
+  double gamma;
+  double beta;
+  double eta;
+  double revolution_time_s;
+  double revolution_frequency_hz;
+  double rf_omega_rad_s;          ///< ω_RF = 2π·h·f_R
+  double drift_per_dgamma_s;
+  double kick_slope_per_s;
+};
+
+/// Computes the working point for a ring/ion at Lorentz factor gamma with
+/// gap amplitude `rf_amplitude_v` and synchronous phase `sync_phase_rad`.
+[[nodiscard]] WorkingPoint working_point(const Ion& ion, const Ring& ring,
+                                         double gamma, double rf_amplitude_v,
+                                         double sync_phase_rad = 0.0);
+
+/// Small-amplitude synchrotron frequency [Hz]:
+///   f_s = f_R · sqrt( h·|η|·Q·V̂·cos(φ_s) / (2π·β²·γ·mc²) ).
+/// Throws ConfigError if the working point is longitudinally unstable
+/// (η·cos(φ_s) has the wrong sign).
+[[nodiscard]] double synchrotron_frequency_hz(const Ion& ion, const Ring& ring,
+                                              double gamma,
+                                              double rf_amplitude_v,
+                                              double sync_phase_rad = 0.0);
+
+/// Synchrotron tune Q_s = f_s / f_R.
+[[nodiscard]] double synchrotron_tune(const Ion& ion, const Ring& ring,
+                                      double gamma, double rf_amplitude_v,
+                                      double sync_phase_rad = 0.0);
+
+/// Gap amplitude that yields a requested small-amplitude synchrotron
+/// frequency — the paper adjusts V̂ to hit f_s = 1.28 kHz (§V).
+[[nodiscard]] double amplitude_for_synchrotron_frequency(
+    const Ion& ion, const Ring& ring, double gamma, double f_sync_hz);
+
+/// Stationary-bucket separatrix: maximum stable |Δγ| at RF phase offset
+/// `dphi_rad` ∈ [-π, π]. The bucket half-height is separatrix_dgamma(0).
+[[nodiscard]] double separatrix_dgamma(const Ion& ion, const Ring& ring,
+                                       double gamma, double rf_amplitude_v,
+                                       double dphi_rad);
+
+/// Bucket half-height in Δγ (separatrix at Δφ = 0).
+[[nodiscard]] double bucket_half_height_dgamma(const Ion& ion,
+                                               const Ring& ring, double gamma,
+                                               double rf_amplitude_v);
+
+/// Normalised stationary-bucket Hamiltonian: 0 at the bucket centre, 1 on
+/// the separatrix, > 1 for untrapped particles. Computed as
+///   (Δγ/Δγ_max)² + (1 − cos(ω_RF·Δt)) / 2.
+[[nodiscard]] double bucket_action_fraction(const Ion& ion, const Ring& ring,
+                                            double gamma,
+                                            double rf_amplitude_v,
+                                            double dt_s, double dgamma);
+
+/// For a matched (upright-ellipse) small-amplitude bunch, the ratio
+/// σ_Δt / σ_Δγ = drift / (2π·Q_s) — used to populate matched ensembles.
+[[nodiscard]] double matched_dt_per_dgamma_s(const Ion& ion, const Ring& ring,
+                                             double gamma,
+                                             double rf_amplitude_v);
+
+}  // namespace citl::phys

@@ -1,0 +1,110 @@
+// Converter models for the FMC151 daughter card (§III-A): a two-channel
+// 14-bit ADC and a two-channel 16-bit DAC, both clocked at 250 MHz, with
+// input/output swing limited to 2 V peak-to-peak in the experiments.
+//
+// The models capture what matters to the simulation: mid-tread quantisation,
+// full-scale clipping, and (optionally) input-referred noise. Codes are
+// exposed so tests can check bit-exactness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/error.hpp"
+#include "core/random.hpp"
+
+namespace citl::sig {
+
+/// An ideal-clock ADC: voltage in, signed code out.
+class Adc {
+ public:
+  /// `bits` total (signed) resolution; `full_scale_vpp` peak-to-peak range.
+  Adc(unsigned bits, double full_scale_vpp, double noise_rms_v = 0.0,
+      std::uint64_t noise_seed = 1)
+      : bits_(bits),
+        half_range_v_(full_scale_vpp / 2.0),
+        max_code_((1 << (bits - 1)) - 1),
+        min_code_(-(1 << (bits - 1))),
+        noise_rms_v_(noise_rms_v),
+        rng_(noise_seed) {
+    CITL_CHECK_MSG(bits >= 2 && bits <= 24, "ADC bits out of range");
+    CITL_CHECK_MSG(full_scale_vpp > 0.0, "ADC full scale must be positive");
+    lsb_v_ = full_scale_vpp / std::ldexp(1.0, static_cast<int>(bits));
+  }
+
+  /// Samples a voltage, returning the signed output code (clipped).
+  [[nodiscard]] int sample_code(double volts) noexcept {
+    double v = volts;
+    if (noise_rms_v_ > 0.0) v += rng_.gaussian(0.0, noise_rms_v_);
+    const double scaled = v / lsb_v_;
+    const long code = std::lround(scaled);
+    return static_cast<int>(std::clamp<long>(code, min_code_, max_code_));
+  }
+
+  /// Samples a voltage and returns the quantised voltage (code * LSB) —
+  /// what the downstream digital logic effectively works with.
+  [[nodiscard]] double sample(double volts) noexcept {
+    return static_cast<double>(sample_code(volts)) * lsb_v_;
+  }
+
+  [[nodiscard]] double lsb_v() const noexcept { return lsb_v_; }
+  [[nodiscard]] double full_scale_v() const noexcept { return half_range_v_; }
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+
+  /// The FMC151 ADC channel: 14 bits, 2 Vpp.
+  [[nodiscard]] static Adc fmc151(double noise_rms_v = 0.0,
+                                  std::uint64_t seed = 1) {
+    return Adc(14, 2.0, noise_rms_v, seed);
+  }
+
+ private:
+  unsigned bits_;
+  double half_range_v_;
+  double lsb_v_;
+  int max_code_;
+  int min_code_;
+  double noise_rms_v_;
+  Rng rng_;
+};
+
+/// A zero-order-hold DAC: signed code (or voltage) in, clipped voltage out.
+class Dac {
+ public:
+  Dac(unsigned bits, double full_scale_vpp)
+      : bits_(bits),
+        half_range_v_(full_scale_vpp / 2.0),
+        max_code_((1 << (bits - 1)) - 1),
+        min_code_(-(1 << (bits - 1))) {
+    CITL_CHECK_MSG(bits >= 2 && bits <= 24, "DAC bits out of range");
+    lsb_v_ = full_scale_vpp / std::ldexp(1.0, static_cast<int>(bits));
+  }
+
+  /// Converts an already-quantised code to volts.
+  [[nodiscard]] double convert_code(int code) const noexcept {
+    return static_cast<double>(std::clamp(code, min_code_, max_code_)) *
+           lsb_v_;
+  }
+
+  /// Quantises and converts a desired output voltage.
+  [[nodiscard]] double convert(double volts) const noexcept {
+    const long code = std::lround(volts / lsb_v_);
+    return convert_code(static_cast<int>(
+        std::clamp<long>(code, min_code_, max_code_)));
+  }
+
+  [[nodiscard]] double lsb_v() const noexcept { return lsb_v_; }
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+
+  /// The FMC151 DAC channel: 16 bits, 2 Vpp.
+  [[nodiscard]] static Dac fmc151() { return Dac(16, 2.0); }
+
+ private:
+  unsigned bits_;
+  double half_range_v_;
+  double lsb_v_;
+  int max_code_;
+  int min_code_;
+};
+
+}  // namespace citl::sig

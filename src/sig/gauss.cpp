@@ -1,0 +1,55 @@
+#include "sig/gauss.hpp"
+
+#include <algorithm>
+
+namespace citl::sig {
+
+GaussPulseShape::GaussPulseShape(double sigma_ticks, double amplitude_v,
+                                 double half_width_sigmas)
+    : sigma_ticks_(sigma_ticks), amplitude_v_(amplitude_v) {
+  CITL_CHECK_MSG(sigma_ticks > 0.0, "pulse sigma must be positive");
+  CITL_CHECK_MSG(half_width_sigmas > 0.0, "pulse width must be positive");
+  const auto half =
+      static_cast<std::size_t>(std::ceil(sigma_ticks * half_width_sigmas));
+  table_.resize(2 * half + 1);
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const double x =
+        (static_cast<double>(i) - static_cast<double>(half)) / sigma_ticks;
+    table_[i] = amplitude_v * std::exp(-0.5 * x * x);
+  }
+}
+
+double GaussPulseShape::at(double ticks_from_center) const noexcept {
+  const double pos = ticks_from_center + half_width_ticks();
+  if (pos < 0.0 || pos > static_cast<double>(table_.size() - 1)) return 0.0;
+  const double fl = std::floor(pos);
+  const auto i = static_cast<std::size_t>(fl);
+  const double frac = pos - fl;
+  if (i + 1 >= table_.size()) return table_.back();
+  return table_[i] + (table_[i + 1] - table_[i]) * frac;
+}
+
+void GaussPulseGenerator::schedule(double center_tick) {
+  // Keep the queue ordered; out-of-order scheduling can happen when Δt jumps
+  // backwards across a revolution boundary.
+  const auto it =
+      std::upper_bound(pending_.begin(), pending_.end(), center_tick);
+  pending_.insert(it, center_tick);
+}
+
+double GaussPulseGenerator::sample(Tick now) {
+  const double t = static_cast<double>(now);
+  const double half = shape_.half_width_ticks();
+  // Drop pulses that ended before `now`.
+  while (!pending_.empty() && pending_.front() + half < t) {
+    pending_.pop_front();
+  }
+  double out = 0.0;
+  for (double center : pending_) {
+    if (center - half > t) break;  // queue is sorted; rest are in the future
+    out += shape_.at(t - center);
+  }
+  return out;
+}
+
+}  // namespace citl::sig

@@ -1,0 +1,71 @@
+// Gauss pulse generation (§III-B): the beam signal the simulator outputs is
+// a train of Gaussian pulses, one per bunch passage. A pulse shape is
+// precalculated into sample memory; a timer module triggers playback at the
+// (fractional) tick computed from the CGRA's Δt output, the last zero
+// crossing and the measured period.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/simtime.hpp"
+
+namespace citl::sig {
+
+/// Precomputed Gaussian pulse shape.
+class GaussPulseShape {
+ public:
+  /// A pulse with standard deviation `sigma_ticks` samples, truncated at
+  /// ±`half_width_sigmas`·sigma, peak amplitude `amplitude_v`.
+  GaussPulseShape(double sigma_ticks, double amplitude_v,
+                  double half_width_sigmas = 4.0);
+
+  [[nodiscard]] std::size_t length() const noexcept { return table_.size(); }
+  [[nodiscard]] double sigma_ticks() const noexcept { return sigma_ticks_; }
+  [[nodiscard]] double amplitude_v() const noexcept { return amplitude_v_; }
+
+  /// Sample of the pulse at offset `ticks_from_center` (interpolated).
+  [[nodiscard]] double at(double ticks_from_center) const noexcept;
+
+  /// Half-width of the stored table in ticks.
+  [[nodiscard]] double half_width_ticks() const noexcept {
+    return static_cast<double>(table_.size() - 1) / 2.0;
+  }
+
+ private:
+  double sigma_ticks_;
+  double amplitude_v_;
+  std::vector<double> table_;
+};
+
+/// Plays scheduled pulses back sample by sample.
+class GaussPulseGenerator {
+ public:
+  explicit GaussPulseGenerator(GaussPulseShape shape)
+      : shape_(std::move(shape)) {}
+
+  /// Schedules a pulse whose *centre* passes at fractional tick
+  /// `center_tick`. Pulses may overlap (multiple bunches).
+  void schedule(double center_tick);
+
+  /// Output voltage at tick `now`; drops pulses that have fully played out.
+  [[nodiscard]] double sample(Tick now);
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] const GaussPulseShape& shape() const noexcept {
+    return shape_;
+  }
+  /// Replaces the pulse shape (runtime-adjustable, like the sample memory).
+  void set_shape(GaussPulseShape shape) { shape_ = std::move(shape); }
+
+ private:
+  GaussPulseShape shape_;
+  std::deque<double> pending_;  ///< scheduled centre ticks, ascending
+};
+
+}  // namespace citl::sig

@@ -1,0 +1,83 @@
+// Dual-port sample capture buffer (§III-B).
+//
+// Each ADC channel streams into a ring buffer deep enough to hold at least
+// two full reference periods (2^13 = 8192 samples at 250 MHz covers two
+// periods down to f_R ≈ 100 kHz+, matching the paper). A second read port
+// lets the CGRA fetch any retained sample without disturbing capture, and a
+// fractional-address read performs the linear interpolation described in
+// §IV-B.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/simtime.hpp"
+
+namespace citl::sig {
+
+class CaptureBuffer {
+ public:
+  /// `depth_log2` — buffer holds 2^depth_log2 samples (paper: 13).
+  explicit CaptureBuffer(unsigned depth_log2 = 13)
+      : mask_((std::size_t{1} << depth_log2) - 1),
+        data_(std::size_t{1} << depth_log2, 0.0) {
+    CITL_CHECK_MSG(depth_log2 >= 2 && depth_log2 <= 26,
+                   "capture depth out of range");
+  }
+
+  /// Write port: stores the sample captured at absolute tick `now` (ticks
+  /// must be fed consecutively, like the hardware's capture clock).
+  void write(Tick now, double sample) noexcept {
+    data_[static_cast<std::size_t>(now) & mask_] = sample;
+    newest_ = now;
+    if (count_ <= mask_) ++count_;
+  }
+
+  /// Oldest tick still retained.
+  [[nodiscard]] Tick oldest() const noexcept {
+    return newest_ - static_cast<Tick>(count_) + 1;
+  }
+  [[nodiscard]] Tick newest() const noexcept { return newest_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  /// Read port: sample captured at absolute tick `t`. The tick must still be
+  /// retained — asking for overwritten history is a programming error in the
+  /// model (the paper sizes the buffer so this cannot happen).
+  [[nodiscard]] double read(Tick t) const {
+    CITL_CHECK_MSG(retained(t), "capture-buffer read outside retained window");
+    return data_[static_cast<std::size_t>(t) & mask_];
+  }
+
+  /// Fractional-address read with linear interpolation between the two
+  /// neighbouring samples (§IV-B: "a second value is requested ... to
+  /// perform linear interpolation").
+  [[nodiscard]] double read_interpolated(double tick) const {
+    const double fl = std::floor(tick);
+    const Tick t0 = static_cast<Tick>(fl);
+    const double frac = tick - fl;
+    const double a = read(t0);
+    if (frac == 0.0) return a;
+    const double b = read(t0 + 1);
+    return a + (b - a) * frac;
+  }
+
+  /// Nearest-sample read (the no-interpolation ablation).
+  [[nodiscard]] double read_nearest(double tick) const {
+    return read(static_cast<Tick>(std::lround(tick)));
+  }
+
+  [[nodiscard]] bool retained(Tick t) const noexcept {
+    return count_ > 0 && t <= newest_ && t >= oldest();
+  }
+
+ private:
+  std::size_t mask_;
+  std::vector<double> data_;
+  Tick newest_ = -1;
+  std::size_t count_ = 0;
+};
+
+}  // namespace citl::sig

@@ -1,0 +1,183 @@
+// Dataflow IR invariants: topological order, criticality, validation,
+// pipeline-edge semantics, architecture description.
+#include <gtest/gtest.h>
+
+#include "cgra/arch.hpp"
+#include "cgra/ir.hpp"
+#include "core/error.hpp"
+
+namespace citl::cgra {
+namespace {
+
+TEST(OpTable, ArityAndClasses) {
+  EXPECT_EQ(op_arity(OpKind::kConst), 0u);
+  EXPECT_EQ(op_arity(OpKind::kSqrt), 1u);
+  EXPECT_EQ(op_arity(OpKind::kAdd), 2u);
+  EXPECT_EQ(op_arity(OpKind::kSelect), 3u);
+  EXPECT_EQ(op_class(OpKind::kMul), OpClass::kMul);
+  EXPECT_EQ(op_class(OpKind::kDiv), OpClass::kDivSqrt);
+  EXPECT_EQ(op_class(OpKind::kLoad), OpClass::kMem);
+  EXPECT_EQ(op_class(OpKind::kAdd), OpClass::kAlu);
+  EXPECT_TRUE(op_commutative(OpKind::kAdd));
+  EXPECT_FALSE(op_commutative(OpKind::kSub));
+  EXPECT_TRUE(op_is_source(OpKind::kState));
+  EXPECT_FALSE(op_is_source(OpKind::kLoad));
+}
+
+TEST(Dfg, TopoOrderRespectsDependencies) {
+  Dfg g;
+  const NodeId s = g.add_state("s", 0.0);
+  const NodeId c = g.add_const(2.0);
+  const NodeId m = g.add_binary(OpKind::kMul, s, c, 0);
+  const NodeId a = g.add_binary(OpKind::kAdd, m, c, 0);
+  g.set_state_update("s", a);
+  const auto order = g.topo_order();
+  auto pos = [&](NodeId id) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == id) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos(s), pos(m));
+  EXPECT_LT(pos(c), pos(m));
+  EXPECT_LT(pos(m), pos(a));
+}
+
+TEST(Dfg, StateFeedbackIsNotACycle) {
+  Dfg g;
+  const NodeId s = g.add_state("s", 1.0);
+  const NodeId inc = g.add_binary(OpKind::kAdd, s, g.add_const(1.0), 0);
+  g.set_state_update("s", inc);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Dfg, UnresolvedStateUpdateFailsValidation) {
+  Dfg g;
+  g.add_state("s", 0.0);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Dfg, PipelineEdgeDetection) {
+  Dfg g;
+  const NodeId s = g.add_state("s", 0.0);
+  const NodeId v = g.add_binary(OpKind::kAdd, s, g.add_const(1.0), 0);
+  const NodeId u = g.add_binary(OpKind::kMul, v, g.add_const(2.0), 1);
+  g.set_state_update("s", u);
+  // Computed stage-0 -> stage-1 edge is pipelined...
+  EXPECT_TRUE(g.is_pipeline_edge(v, u));
+  // ...but source reads never are (register file serves both stages).
+  const NodeId u2 = g.add_binary(OpKind::kAdd, s, u, 1);
+  EXPECT_FALSE(g.is_pipeline_edge(s, u2));
+}
+
+TEST(Dfg, IntraPredsExcludePipelineEdges) {
+  Dfg g;
+  const NodeId s = g.add_state("s", 0.0);
+  const NodeId v = g.add_binary(OpKind::kAdd, s, g.add_const(1.0), 0);
+  const NodeId u = g.add_binary(OpKind::kMul, v, s, 1);
+  g.set_state_update("s", u);
+  const auto preds = g.intra_preds(u);
+  // v is pipelined away; s remains.
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0], s);
+}
+
+TEST(Dfg, Stage1IntoStage0Rejected) {
+  Dfg g;
+  const NodeId s = g.add_state("s", 0.0);
+  const NodeId u = g.add_binary(OpKind::kAdd, s, g.add_const(1.0), 1);
+  g.add_binary(OpKind::kMul, u, s, 0);  // stage-0 consuming stage-1
+  g.set_state_update("s", u);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Dfg, CriticalityDecreasesTowardsSinks) {
+  Dfg g;
+  const NodeId s = g.add_state("s", 0.0);
+  const NodeId sq = g.add_unary(OpKind::kSqrt, s, 0);
+  const NodeId a = g.add_binary(OpKind::kAdd, sq, s, 0);
+  g.set_state_update("s", a);
+  LatencyTable lat;
+  const auto crit = g.criticality(lat);
+  EXPECT_GT(crit[static_cast<std::size_t>(s)],
+            crit[static_cast<std::size_t>(sq)]);
+  EXPECT_GT(crit[static_cast<std::size_t>(sq)],
+            crit[static_cast<std::size_t>(a)]);
+  // Sink criticality equals its own latency.
+  EXPECT_EQ(crit[static_cast<std::size_t>(a)], lat.alu);
+}
+
+TEST(Dfg, DumpMentionsStatesAndOps) {
+  Dfg g;
+  const NodeId s = g.add_state("energy", 1.5);
+  g.set_state_update("energy", g.add_unary(OpKind::kSqrt, s, 0));
+  const std::string d = g.dump();
+  EXPECT_NE(d.find("energy"), std::string::npos);
+  EXPECT_NE(d.find("sqrt"), std::string::npos);
+  EXPECT_NE(d.find("init 1.5"), std::string::npos);
+}
+
+TEST(Dfg, DuplicateNamesRejected) {
+  Dfg g;
+  g.add_state("s", 0.0);
+  EXPECT_THROW(g.add_state("s", 1.0), std::logic_error);
+  g.add_param("p", 0.0);
+  EXPECT_THROW(g.add_param("p", 1.0), std::logic_error);
+}
+
+// ---- architecture description ---------------------------------------------
+
+TEST(Arch, GridPresets) {
+  for (const auto& a : {grid_3x3(), grid_4x4(), grid_5x5()}) {
+    EXPECT_NO_THROW(a.validate());
+    EXPECT_EQ(a.rows, a.cols);
+    // West column always has sensor access, diagonal has div/sqrt.
+    for (int r = 0; r < a.rows; ++r) {
+      EXPECT_TRUE(a.caps({r, 0}).mem);
+      EXPECT_TRUE(a.caps({r, r}).divsqrt);
+    }
+  }
+}
+
+TEST(Arch, IndexRoundTrip) {
+  const CgraArch a = grid_4x4();
+  for (int i = 0; i < a.pe_count(); ++i) {
+    EXPECT_EQ(a.index(a.pe_at(i)), i);
+  }
+}
+
+TEST(Arch, ManhattanDistance) {
+  EXPECT_EQ(CgraArch::distance({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(CgraArch::distance({0, 0}, {2, 3}), 5);
+  EXPECT_EQ(CgraArch::distance({4, 1}, {1, 4}), 6);
+}
+
+TEST(Arch, ValidationCatchesBadConfigs) {
+  CgraArch a = grid_3x3();
+  a.pes.pop_back();
+  EXPECT_THROW(a.validate(), ConfigError);
+
+  CgraArch b = grid_3x3();
+  for (auto& pe : b.pes) pe.mem = false;
+  EXPECT_THROW(b.validate(), ConfigError);
+
+  CgraArch c;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(Arch, LatencyTableLookup) {
+  const LatencyTable lat;
+  EXPECT_EQ(lat.of(OpKind::kAdd), lat.alu);
+  EXPECT_EQ(lat.of(OpKind::kMul), lat.mul);
+  EXPECT_EQ(lat.of(OpKind::kSqrt), lat.sqrt);
+  EXPECT_EQ(lat.of(OpKind::kLoad), lat.load);
+  EXPECT_EQ(lat.of(OpKind::kConst), lat.source);
+  EXPECT_EQ(lat.of(OpKind::kMove), lat.route_hop);
+}
+
+TEST(Arch, PaperCgraClock) {
+  EXPECT_DOUBLE_EQ(grid_5x5().clock_hz, 111.0e6);  // §IV-B
+}
+
+}  // namespace
+}  // namespace citl::cgra

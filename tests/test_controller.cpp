@@ -1,0 +1,168 @@
+// The FIR beam-phase controller (f_pass, gain, recursion factor — §V).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.hpp"
+#include "ctrl/controller.hpp"
+#include "ctrl/jump.hpp"
+
+namespace citl::ctrl {
+namespace {
+
+ControllerConfig paper_config() {
+  return ControllerConfig{};  // defaults are the paper values
+}
+
+TEST(ControllerConfigTest, PaperDefaults) {
+  const ControllerConfig c;
+  EXPECT_DOUBLE_EQ(c.f_pass_hz, 1400.0);
+  EXPECT_DOUBLE_EQ(c.gain, -5.0);
+  EXPECT_DOUBLE_EQ(c.recursion, 0.99);
+}
+
+TEST(Controller, RejectsInvalidConfig) {
+  ControllerConfig c;
+  c.recursion = 1.0;
+  EXPECT_THROW(BeamPhaseController{c}, std::logic_error);
+  c = ControllerConfig{};
+  c.f_pass_hz = c.sample_rate_hz;  // above Nyquist
+  EXPECT_THROW(BeamPhaseController{c}, std::logic_error);
+}
+
+TEST(Controller, BlocksDc) {
+  // A constant phase offset (Fig. 5's standing offset) must produce no
+  // standing correction — the recursion stage is a DC blocker.
+  BeamPhaseController ctl(paper_config());
+  double last = 1e9;
+  for (int i = 0; i < 3000; ++i) last = ctl.update(0.3);
+  EXPECT_NEAR(last, 0.0, 1e-3);
+}
+
+TEST(Controller, NoStepGlitchAtLoopClosure) {
+  // Priming: the very first sample must not cause a large transient.
+  BeamPhaseController ctl(paper_config());
+  const double first = ctl.update(0.3);
+  EXPECT_NEAR(first, 0.0, 1e-9);
+}
+
+TEST(Controller, PassesSynchrotronBand) {
+  // At f_s = 1.28 kHz the loop must act: steady-state sinusoidal response
+  // with amplitude ≈ |gain|·scale·|phase| (lowpass+blocker ≈ unity there).
+  const ControllerConfig cfg = paper_config();
+  BeamPhaseController ctl(cfg);
+  const double f = 1280.0;
+  double peak = 0.0;
+  const int n = static_cast<int>(cfg.sample_rate_hz * 20e-3);
+  for (int i = 0; i < n; ++i) {
+    const double phase = 0.1 * std::sin(kTwoPi * f * i / cfg.sample_rate_hz);
+    const double out = ctl.update(phase);
+    if (i > n / 2) peak = std::max(peak, std::abs(out));
+  }
+  const double expected =
+      std::abs(cfg.gain) * std::abs(cfg.gain_scale_hz_per_rad) * 0.1;
+  EXPECT_NEAR(peak, expected, 0.25 * expected);
+}
+
+TEST(Controller, AttenuatesAboveFPass) {
+  const ControllerConfig cfg = paper_config();
+  auto response_at = [&](double f) {
+    BeamPhaseController ctl(cfg);
+    double peak = 0.0;
+    const int n = static_cast<int>(cfg.sample_rate_hz * 20e-3);
+    for (int i = 0; i < n; ++i) {
+      const double out =
+          ctl.update(0.1 * std::sin(kTwoPi * f * i / cfg.sample_rate_hz));
+      if (i > n / 2) peak = std::max(peak, std::abs(out));
+    }
+    return peak;
+  };
+  // High-frequency measurement noise is rejected relative to the band.
+  EXPECT_LT(response_at(30'000.0), 0.35 * response_at(1280.0));
+}
+
+TEST(Controller, SaturatesAtMaxCorrection) {
+  ControllerConfig cfg = paper_config();
+  cfg.max_correction_hz = 100.0;
+  BeamPhaseController ctl(cfg);
+  double worst = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    // A steep phase ramp: the DC blocker turns constant slope into a large
+    // steady output (slope/(1-r)), far beyond the clamp.
+    worst = std::max(worst, std::abs(ctl.update(0.1 * i)));
+  }
+  EXPECT_LE(worst, 100.0 + 1e-12);
+  EXPECT_NEAR(worst, 100.0, 1e-9);
+}
+
+TEST(Controller, ResetClearsHistory) {
+  BeamPhaseController ctl(paper_config());
+  for (int i = 0; i < 100; ++i) ctl.update(std::sin(0.3 * i));
+  ctl.reset();
+  // After reset the first sample primes the DC blocker again: no output.
+  const double out = ctl.update(0.5);
+  EXPECT_NEAR(out, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ctl.last_correction_hz(), out);
+}
+
+TEST(Controller, GainScalesOutputLinearly) {
+  ControllerConfig a = paper_config();
+  ControllerConfig b = paper_config();
+  b.gain = 2.0 * a.gain;
+  BeamPhaseController ca(a), cb(b);
+  for (int i = 0; i < 500; ++i) {
+    const double x = 0.05 * std::sin(0.08 * i);
+    const double ya = ca.update(x);
+    const double yb = cb.update(x);
+    EXPECT_NEAR(yb, 2.0 * ya, 1e-9 + 1e-6 * std::abs(ya));
+  }
+}
+
+TEST(Decimator, AveragesBlocks) {
+  PhaseDecimator d(4);
+  EXPECT_FALSE(d.feed(1.0));
+  EXPECT_FALSE(d.feed(2.0));
+  EXPECT_FALSE(d.feed(3.0));
+  EXPECT_TRUE(d.feed(6.0));
+  EXPECT_DOUBLE_EQ(d.output(), 3.0);
+  // Next block independent.
+  d.feed(0.0);
+  d.feed(0.0);
+  d.feed(0.0);
+  EXPECT_TRUE(d.feed(4.0));
+  EXPECT_DOUBLE_EQ(d.output(), 1.0);
+}
+
+TEST(Decimator, FactorOnePassesThrough) {
+  PhaseDecimator d(1);
+  EXPECT_TRUE(d.feed(0.7));
+  EXPECT_DOUBLE_EQ(d.output(), 0.7);
+  EXPECT_THROW(PhaseDecimator(0), std::logic_error);
+}
+
+TEST(JumpProgramme, PaperParameters) {
+  const auto p = PhaseJumpProgramme::paper();
+  EXPECT_NEAR(p.amplitude_rad(), deg_to_rad(8.0), 1e-12);
+  EXPECT_DOUBLE_EQ(p.interval_s(), 0.05);
+}
+
+TEST(JumpProgramme, TogglesEveryInterval) {
+  const PhaseJumpProgramme p(0.1, 0.05, 0.01);
+  EXPECT_DOUBLE_EQ(p.phase_rad(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.phase_rad(0.009), 0.0);
+  EXPECT_DOUBLE_EQ(p.phase_rad(0.02), 0.1);    // after first toggle
+  EXPECT_DOUBLE_EQ(p.phase_rad(0.07), 0.0);    // toggled back
+  EXPECT_DOUBLE_EQ(p.phase_rad(0.12), 0.1);    // and again
+}
+
+TEST(JumpProgramme, ManyTogglesStaySquare) {
+  const PhaseJumpProgramme p(0.2, 0.05, 0.0);
+  for (int k = 0; k < 40; ++k) {
+    const double mid = 0.025 + 0.05 * k;
+    const double expected = (k % 2 == 0) ? 0.2 : 0.0;
+    EXPECT_DOUBLE_EQ(p.phase_rad(mid), expected) << "interval " << k;
+  }
+}
+
+}  // namespace
+}  // namespace citl::ctrl

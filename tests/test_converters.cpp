@@ -1,0 +1,108 @@
+// ADC/DAC converter models (FMC151: 14-bit / 16-bit, 2 Vpp, §III-A).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sig/converters.hpp"
+
+namespace citl::sig {
+namespace {
+
+TEST(AdcTest, LsbSize) {
+  Adc adc = Adc::fmc151();
+  EXPECT_EQ(adc.bits(), 14u);
+  EXPECT_NEAR(adc.lsb_v(), 2.0 / 16384.0, 1e-12);
+}
+
+TEST(AdcTest, QuantisationErrorBounded) {
+  Adc adc = Adc::fmc151();
+  for (double v = -0.99; v < 0.99; v += 0.0137) {
+    const double q = adc.sample(v);
+    EXPECT_LE(std::abs(q - v), adc.lsb_v() / 2.0 + 1e-12);
+  }
+}
+
+TEST(AdcTest, ClipsAtFullScale) {
+  Adc adc = Adc::fmc151();
+  EXPECT_EQ(adc.sample_code(5.0), 8191);
+  EXPECT_EQ(adc.sample_code(-5.0), -8192);
+  // Clipped voltage stays within range.
+  EXPECT_LE(adc.sample(3.0), 1.0);
+  EXPECT_GE(adc.sample(-3.0), -1.0 - adc.lsb_v());
+}
+
+TEST(AdcTest, ZeroMapsToZeroCode) {
+  Adc adc = Adc::fmc151();
+  EXPECT_EQ(adc.sample_code(0.0), 0);
+  EXPECT_DOUBLE_EQ(adc.sample(0.0), 0.0);
+}
+
+TEST(AdcTest, MonotoneTransferFunction) {
+  Adc adc = Adc::fmc151();
+  int prev = adc.sample_code(-1.0);
+  for (double v = -1.0; v <= 1.0; v += 0.001) {
+    const int code = adc.sample_code(v);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(AdcTest, NoiseInjectionHasRequestedRms) {
+  const double rms = 0.005;
+  Adc adc(14, 2.0, rms, 77);
+  const int n = 50'000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double e = adc.sample(0.3) - 0.3;
+    sum += e;
+    sum2 += e * e;
+  }
+  const double mean = sum / n;
+  const double meas_rms = std::sqrt(sum2 / n - mean * mean);
+  // Quantisation adds lsb/sqrt(12) ≈ 3.5e-5 — negligible vs 5e-3.
+  EXPECT_NEAR(meas_rms, rms, 0.1 * rms);
+}
+
+TEST(AdcTest, RejectsBadConfig) {
+  EXPECT_THROW(Adc(1, 2.0), std::logic_error);
+  EXPECT_THROW(Adc(14, -1.0), std::logic_error);
+}
+
+TEST(DacTest, FMC151Resolution) {
+  Dac dac = Dac::fmc151();
+  EXPECT_EQ(dac.bits(), 16u);
+  EXPECT_NEAR(dac.lsb_v(), 2.0 / 65536.0, 1e-12);
+}
+
+TEST(DacTest, CodeToVoltage) {
+  Dac dac = Dac::fmc151();
+  EXPECT_DOUBLE_EQ(dac.convert_code(0), 0.0);
+  EXPECT_NEAR(dac.convert_code(32767), 1.0, dac.lsb_v());
+  EXPECT_NEAR(dac.convert_code(-32768), -1.0, dac.lsb_v());
+}
+
+TEST(DacTest, RoundTripWithinLsb) {
+  Dac dac = Dac::fmc151();
+  for (double v = -0.99; v < 0.99; v += 0.0101) {
+    EXPECT_LE(std::abs(dac.convert(v) - v), dac.lsb_v() / 2.0 + 1e-12);
+  }
+}
+
+TEST(DacTest, ClipsOutOfRangeCodes) {
+  Dac dac = Dac::fmc151();
+  EXPECT_DOUBLE_EQ(dac.convert_code(100'000), dac.convert_code(32767));
+  EXPECT_DOUBLE_EQ(dac.convert(9.0), dac.convert_code(32767));
+}
+
+TEST(ConverterChain, AdcDacPreservesSignalWithin14Bits) {
+  // A full acquisition+playback chain distorts by at most ~1 ADC LSB.
+  Adc adc = Adc::fmc151();
+  Dac dac = Dac::fmc151();
+  for (double v = -0.95; v < 0.95; v += 0.0173) {
+    const double out = dac.convert(adc.sample(v));
+    EXPECT_LE(std::abs(out - v), adc.lsb_v());
+  }
+}
+
+}  // namespace
+}  // namespace citl::sig

@@ -1,0 +1,212 @@
+// Many-macro-particle tracker: matched bunches, dipole oscillations,
+// filamentation (the physics of §V's discussion and §VI's outlook).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.hpp"
+#include "phys/ensemble.hpp"
+#include "phys/relativity.hpp"
+#include "phys/synchrotron.hpp"
+
+namespace citl::phys {
+namespace {
+
+EnsembleConfig paper_config(std::size_t n = 5000) {
+  EnsembleConfig c;
+  c.ion = ion_n14_7plus();
+  c.ring = sis18(4);
+  c.initial_gamma_r =
+      gamma_from_revolution_frequency(800.0e3, c.ring.circumference_m);
+  c.n_particles = n;
+  c.seed = 99;
+  return c;
+}
+
+SineWaveform paper_gap(const EnsembleConfig& c, double vhat) {
+  const double f_rev =
+      revolution_frequency_hz(c.initial_gamma_r, c.ring.circumference_m);
+  return SineWaveform{vhat, kTwoPi * c.ring.harmonic * f_rev, 0.0};
+}
+
+TEST(Ensemble, PopulateGaussianMomentsMatch) {
+  EnsembleTracker e(paper_config(50'000));
+  e.populate_gaussian(2.0e-5, 3.0e-8);
+  EXPECT_NEAR(e.rms_dgamma(), 2.0e-5, 3.0e-7);
+  EXPECT_NEAR(e.rms_dt_s(), 3.0e-8, 5.0e-10);
+  EXPECT_NEAR(e.centroid_dt_s(), 0.0, 1.0e-9);
+  EXPECT_NEAR(e.centroid_dgamma(), 0.0, 1.0e-6);
+}
+
+TEST(Ensemble, MatchedBunchKeepsItsShape) {
+  // A matched bunch's rms widths stay constant over many turns.
+  auto cfg = paper_config(8000);
+  EnsembleTracker e(cfg);
+  const double vhat = 4860.0;
+  e.populate_matched(2.0e-5, vhat);
+  const double rms_dt0 = e.rms_dt_s();
+  const double rms_dg0 = e.rms_dgamma();
+  e.run(paper_gap(cfg, vhat), 4000);
+  EXPECT_NEAR(e.rms_dt_s() / rms_dt0, 1.0, 0.08);
+  EXPECT_NEAR(e.rms_dgamma() / rms_dg0, 1.0, 0.08);
+}
+
+TEST(Ensemble, MismatchedBunchBreathes) {
+  // A mismatched bunch's length oscillates at ~2·f_s (quadrupole mode —
+  // the oscillation mode the paper's future work wants to reach).
+  auto cfg = paper_config(8000);
+  EnsembleTracker e(cfg);
+  const double vhat = 4860.0;
+  const double ratio =
+      matched_dt_per_dgamma_s(cfg.ion, cfg.ring, cfg.initial_gamma_r, vhat);
+  const double sig_dg = 2.0e-5;
+  e.populate_gaussian(sig_dg, 2.0 * sig_dg * ratio);  // 2x too long
+  const auto gap = paper_gap(cfg, vhat);
+  double min_rms = 1e9, max_rms = 0.0;
+  const double f_rev = revolution_frequency_hz(cfg.initial_gamma_r,
+                                               cfg.ring.circumference_m);
+  const double f_s = synchrotron_frequency_hz(cfg.ion, cfg.ring,
+                                              cfg.initial_gamma_r, vhat);
+  const int turns = static_cast<int>(2.0 * f_rev / f_s);
+  for (int i = 0; i < turns; ++i) {
+    e.step(gap);
+    min_rms = std::min(min_rms, e.rms_dt_s());
+    max_rms = std::max(max_rms, e.rms_dt_s());
+  }
+  EXPECT_GT(max_rms / min_rms, 1.5);
+}
+
+TEST(Ensemble, DipoleOscillationAtSynchrotronFrequency) {
+  auto cfg = paper_config(4000);
+  EnsembleTracker e(cfg);
+  const double vhat = 4860.0;
+  e.populate_matched(1.0e-5, vhat);
+  e.displace(0.0, 6.0e-9);
+  const auto gap = paper_gap(cfg, vhat);
+
+  const double f_rev = revolution_frequency_hz(cfg.initial_gamma_r,
+                                               cfg.ring.circumference_m);
+  const double f_s = synchrotron_frequency_hz(cfg.ion, cfg.ring,
+                                              cfg.initial_gamma_r, vhat);
+  int crossings = 0;
+  double first = 0.0, last = 0.0;
+  double prev = e.centroid_dt_s();
+  const int turns = static_cast<int>(6.0 * f_rev / f_s);
+  for (int i = 0; i < turns; ++i) {
+    e.step(gap);
+    const double c = e.centroid_dt_s();
+    if (prev > 0.0 && c <= 0.0) {
+      if (crossings == 0) first = i;
+      last = i;
+      ++crossings;
+    }
+    prev = c;
+  }
+  ASSERT_GE(crossings, 3);
+  const double f_meas = f_rev * (crossings - 1) / (last - first);
+  EXPECT_NEAR(f_meas, f_s, 0.05 * f_s);
+}
+
+TEST(Ensemble, CoherentDipoleOscillationDecoheres) {
+  // §V: "the real particle bunch ... would also experience a decrease of the
+  // phase oscillation amplitude due to Landau damping and filamentation ...
+  // it would require tens of thousands of individual particles to see this
+  // effect". The finite-amplitude frequency spread makes the *centroid*
+  // oscillation decay while individual particles keep oscillating.
+  auto cfg = paper_config(20'000);
+  EnsembleTracker e(cfg);
+  const double vhat = 4860.0;
+  e.populate_matched(8.0e-5, vhat);  // wide bunch: large f_s spread
+  const double kick = 1.5e-8;
+  e.displace(0.0, kick);
+  const auto gap = paper_gap(cfg, vhat);
+
+  const double f_rev = revolution_frequency_hz(cfg.initial_gamma_r,
+                                               cfg.ring.circumference_m);
+  const double f_s = synchrotron_frequency_hz(cfg.ion, cfg.ring,
+                                              cfg.initial_gamma_r, vhat);
+  const int period_turns = static_cast<int>(f_rev / f_s);
+  auto envelope_over = [&](int periods) {
+    double amp = 0.0;
+    for (int i = 0; i < periods * period_turns; ++i) {
+      e.step(gap);
+      amp = std::max(amp, std::abs(e.centroid_dt_s()));
+    }
+    return amp;
+  };
+  const double early = envelope_over(2);
+  for (int skip = 0; skip < 28; ++skip) envelope_over(1);
+  const double late = envelope_over(2);
+  EXPECT_LT(late, 0.55 * early);  // coherent amplitude decayed
+  EXPECT_NEAR(early, kick, 0.35 * kick);
+  // Energy did not leave the bunch — it filamented: rms grew instead.
+  EXPECT_GT(e.rms_dt_s(), 8.0e-5 * matched_dt_per_dgamma_s(
+                              cfg.ion, cfg.ring, cfg.initial_gamma_r, vhat));
+}
+
+TEST(Ensemble, FilamentationGrowsEmittance) {
+  auto cfg = paper_config(10'000);
+  EnsembleTracker e(cfg);
+  const double vhat = 4860.0;
+  e.populate_matched(3.0e-5, vhat);
+  const double eps0 = e.emittance();
+  e.displace(0.0, 2.0e-8);  // large dipole kick
+  e.run(paper_gap(cfg, vhat), 25'000);
+  EXPECT_GT(e.emittance(), 1.3 * eps0);
+}
+
+TEST(Ensemble, ParallelAndSerialAgreeExactly) {
+  auto cfg = paper_config(2000);
+  ThreadPool pool(4);
+  EnsembleTracker serial(cfg);
+  EnsembleTracker parallel_t(cfg, &pool);
+  const double vhat = 4860.0;
+  serial.populate_matched(2.0e-5, vhat);
+  parallel_t.populate_matched(2.0e-5, vhat);
+  const auto gap = paper_gap(cfg, vhat);
+  serial.run(gap, 500);
+  parallel_t.run(gap, 500);
+  for (std::size_t i = 0; i < serial.size(); i += 97) {
+    EXPECT_DOUBLE_EQ(serial.dt()[i], parallel_t.dt()[i]);
+    EXPECT_DOUBLE_EQ(serial.dgamma()[i], parallel_t.dgamma()[i]);
+  }
+}
+
+TEST(Ensemble, StepWithWaveformMatchesSineStep) {
+  auto cfg = paper_config(512);
+  EnsembleTracker a(cfg), b(cfg);
+  const double vhat = 4860.0;
+  a.populate_matched(2.0e-5, vhat);
+  b.populate_matched(2.0e-5, vhat);
+  const auto gap = paper_gap(cfg, vhat);
+  for (int i = 0; i < 200; ++i) {
+    a.step(gap);
+    b.step_with_waveform([&](double dt) { return gap(dt); });
+  }
+  for (std::size_t i = 0; i < a.size(); i += 31) {
+    EXPECT_DOUBLE_EQ(a.dt()[i], b.dt()[i]);
+  }
+}
+
+TEST(Ensemble, ReferenceVoltageAcceleratesWholeBunch) {
+  auto cfg = paper_config(1000);
+  EnsembleTracker e(cfg);
+  e.populate_gaussian(1.0e-5, 1.0e-8);
+  const double g0 = e.gamma_r();
+  SineWaveform gap{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) e.step(gap, 2000.0);
+  EXPECT_NEAR(e.gamma_r() - g0,
+              100 * cfg.ion.charge_over_mc2() * 2000.0, 1e-12);
+}
+
+TEST(Ensemble, SeedReproducibility) {
+  auto cfg = paper_config(1000);
+  EnsembleTracker a(cfg), b(cfg);
+  a.populate_matched(2.0e-5, 4860.0);
+  b.populate_matched(2.0e-5, 4860.0);
+  EXPECT_DOUBLE_EQ(a.dt()[123], b.dt()[123]);
+  EXPECT_DOUBLE_EQ(a.dgamma()[999], b.dgamma()[999]);
+}
+
+}  // namespace
+}  // namespace citl::phys

@@ -1,0 +1,135 @@
+// The §V MDE scenario (Fig. 5) and the series-analysis helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/units.hpp"
+#include "hil/experiment.hpp"
+
+namespace citl::hil {
+namespace {
+
+// ---- analysis helpers -------------------------------------------------------
+
+TEST(Analysis, FrequencyOfPureSine) {
+  std::vector<double> t, x;
+  const double f = 1280.0;
+  for (int i = 0; i < 4000; ++i) {
+    t.push_back(i * 1.0e-5);
+    x.push_back(3.0 + std::sin(kTwoPi * f * t.back()));  // offset + sine
+  }
+  EXPECT_NEAR(estimate_oscillation_frequency_hz(t, x, 0.0, 0.04), f, 5.0);
+}
+
+TEST(Analysis, FrequencyOfDampedSine) {
+  std::vector<double> t, x;
+  const double f = 900.0;
+  for (int i = 0; i < 4000; ++i) {
+    t.push_back(i * 1.0e-5);
+    x.push_back(std::exp(-t.back() / 8.0e-3) *
+                std::cos(kTwoPi * f * t.back()));
+  }
+  EXPECT_NEAR(estimate_oscillation_frequency_hz(t, x, 0.0, 0.02), f, 15.0);
+}
+
+TEST(Analysis, FrequencyReturnsZeroOnFlatOrSparseData) {
+  std::vector<double> t{0.0, 1.0, 2.0, 3.0, 4.0};
+  std::vector<double> x{1.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(estimate_oscillation_frequency_hz(t, x, 0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_oscillation_frequency_hz(t, x, 10.0, 20.0), 0.0);
+}
+
+TEST(Analysis, PeakToPeakWindows) {
+  std::vector<double> t{0, 1, 2, 3, 4, 5};
+  std::vector<double> x{0, 5, -3, 7, 1, 100};
+  EXPECT_DOUBLE_EQ(peak_to_peak(t, x, 0.0, 5.0), 10.0);   // excludes t=5
+  EXPECT_DOUBLE_EQ(peak_to_peak(t, x, 1.0, 3.0), 8.0);
+  EXPECT_DOUBLE_EQ(peak_to_peak(t, x, 10.0, 20.0), 0.0);  // empty window
+}
+
+TEST(Analysis, MeanInWindow) {
+  std::vector<double> t{0, 1, 2, 3};
+  std::vector<double> x{2, 4, 6, 100};
+  EXPECT_DOUBLE_EQ(mean_in_window(t, x, 0.0, 3.0), 4.0);
+  EXPECT_DOUBLE_EQ(mean_in_window(t, x, 10.0, 11.0), 0.0);
+}
+
+// ---- the scenario itself ----------------------------------------------------
+
+MdeScenarioConfig quick_config() {
+  MdeScenarioConfig cfg;
+  cfg.duration_s = 0.1;            // two full jump intervals
+  cfg.ensemble_particles = 3000;   // enough for clean centroids
+  return cfg;
+}
+
+TEST(MdeScenario, ReproducesFig5Structure) {
+  const MdeResult r = run_mde_scenario(quick_config());
+
+  // The gap amplitude was derived to hit f_s = 1.28 kHz (§V).
+  EXPECT_NEAR(r.f_sync_analytic_hz, 1280.0, 1.0);
+  EXPECT_NEAR(r.gap_amplitude_v, 4860.0, 60.0);
+
+  // T-fs: both loops oscillate near the analytic frequency. The closed loop
+  // pulls the observed frequency slightly (as any feedback does).
+  EXPECT_NEAR(r.f_sync_simulator_hz, 1280.0, 150.0);
+  EXPECT_NEAR(r.f_sync_reference_hz, 1280.0, 150.0);
+  // Simulator matches the ensemble reference closely (the Fig. 5a/5b match).
+  EXPECT_NEAR(r.f_sync_simulator_hz, r.f_sync_reference_hz,
+              0.05 * r.f_sync_reference_hz);
+
+  // T-p2p: first swing ≈ 2x jump in both.
+  EXPECT_NEAR(r.first_p2p_over_jump_sim, 2.0, 0.35);
+  EXPECT_NEAR(r.first_p2p_over_jump_ref, 2.0, 0.35);
+
+  // Control damps the oscillation before the next jump in both loops.
+  EXPECT_LT(r.damping_ratio_sim, 0.15);
+  EXPECT_LT(r.damping_ratio_ref, 0.15);
+
+  // Both series actually recorded.
+  EXPECT_GT(r.simulator.time_s.size(), 1000u);
+  EXPECT_GT(r.reference.time_s.size(), 1000u);
+}
+
+TEST(MdeScenario, WithoutControlOnlyEnsembleDamps) {
+  // §V discussion: without the loop, the single-macro-particle simulator
+  // cannot damp; the real beam (ensemble) still filaments.
+  MdeScenarioConfig cfg = quick_config();
+  cfg.control_enabled = false;
+  cfg.ensemble_particles = 8000;
+  const MdeResult r = run_mde_scenario(cfg);
+  EXPECT_GT(r.damping_ratio_sim, 0.6);
+  EXPECT_LT(r.damping_ratio_ref, 0.5 * r.damping_ratio_sim);
+}
+
+TEST(MdeScenario, SimulatorOnlyRunIsCheapAndConsistent) {
+  MdeScenarioConfig cfg = quick_config();
+  const PhaseSeries s = run_mde_simulator(cfg);
+  ASSERT_GT(s.time_s.size(), 100u);
+  ASSERT_EQ(s.time_s.size(), s.phase_deg.size());
+  // Monotone timestamps.
+  for (std::size_t i = 1; i < s.time_s.size(); i += 50) {
+    EXPECT_GT(s.time_s[i], s.time_s[i - 1]);
+  }
+  // Deterministic.
+  const PhaseSeries s2 = run_mde_simulator(cfg);
+  EXPECT_EQ(s.phase_deg.size(), s2.phase_deg.size());
+  EXPECT_DOUBLE_EQ(s.phase_deg[100], s2.phase_deg[100]);
+}
+
+TEST(MdeScenario, TenDegreeJumpScalesResponse) {
+  // The MDE itself used 10° jumps (the paper's bench used 8°): the first
+  // swing still doubles the jump.
+  MdeScenarioConfig cfg = quick_config();
+  cfg.jump_deg = 10.0;
+  cfg.duration_s = 0.06;
+  const PhaseSeries s = run_mde_simulator(cfg);
+  const double t_jump = cfg.jump_interval_s / 5.0;
+  const double p2p =
+      peak_to_peak(s.time_s, s.phase_deg, t_jump, t_jump + 1.0e-3);
+  EXPECT_NEAR(p2p / 10.0, 2.0, 0.4);
+}
+
+}  // namespace
+}  // namespace citl::hil

@@ -1,0 +1,144 @@
+// IO helpers: CSV, console tables, ASCII plots, traces, parameter bus.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "core/error.hpp"
+#include "hil/parambus.hpp"
+#include "hil/recorder.hpp"
+#include "io/asciiplot.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace citl {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  const std::string s = io::csv_to_string(
+      {{"t", {1.0, 2.0}}, {"v", {0.5, -0.25}}});
+  EXPECT_EQ(s, "t,v\n1,0.5\n2,-0.25\n");
+}
+
+TEST(Csv, RaggedColumnsLeaveEmptyCells) {
+  const std::string s =
+      io::csv_to_string({{"a", {1.0}}, {"b", {2.0, 3.0}}});
+  EXPECT_EQ(s, "a,b\n1,2\n,3\n");
+}
+
+TEST(Csv, FullPrecisionRoundTrip) {
+  const double v = 1.2345678901234567e-7;
+  const std::string s = io::csv_to_string({{"x", {v}}});
+  double parsed = 0.0;
+  sscanf(s.c_str(), "x\n%lf", &parsed);
+  EXPECT_DOUBLE_EQ(parsed, v);
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "citl_test.csv";
+  io::write_csv(path, {{"x", {1.0, 2.0, 3.0}}});
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, BadPathThrows) {
+  EXPECT_THROW(io::write_csv("/nonexistent-dir/file.csv", {{"x", {}}}),
+               ConfigError);
+}
+
+TEST(TableTest, AlignedRender) {
+  io::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+  // All lines equal length (alignment).
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  for (int line = 0; line < 4; ++line) {
+    const std::size_t next = s.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, first_len) << "line " << line;
+    pos = next + 1;
+  }
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(io::Table::num(1.23456789, 4), "1.235");
+  EXPECT_EQ(io::Table::num(1280.0, 4), "1280");
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  io::Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(AsciiPlot, ContainsMarksAndAxes) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(std::sin(0.1 * i));
+  }
+  const std::string p =
+      io::ascii_plot(x, y, {.width = 60, .height = 10, .title = "wave"});
+  EXPECT_NE(p.find("wave"), std::string::npos);
+  EXPECT_NE(p.find('*'), std::string::npos);
+  EXPECT_NE(p.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, OverlayUsesDistinctMarks) {
+  std::vector<double> x{0, 1, 2, 3}, y1{0, 1, 0, -1}, y2{1, 0, -1, 0};
+  const std::string p = io::ascii_plot2(x, y1, x, y2, {.width = 40, .height = 8});
+  EXPECT_NE(p.find('*'), std::string::npos);
+  EXPECT_NE(p.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesConstantSeries) {
+  std::vector<double> x{0, 1, 2}, y{5, 5, 5};
+  EXPECT_NO_THROW(io::ascii_plot(x, y));
+}
+
+TEST(TraceTest, DecimationAndCap) {
+  hil::Trace t("x", 10, 3);
+  for (int i = 0; i < 100; ++i) t.push(i * 0.1, i);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.full());
+  EXPECT_DOUBLE_EQ(t.values()[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.values()[1], 10.0);
+  EXPECT_DOUBLE_EQ(t.values()[2], 20.0);
+}
+
+TEST(TraceTest, ClearResets) {
+  hil::Trace t("x", 1, 0);
+  t.push(0.0, 1.0);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  t.push(1.0, 2.0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ParamBus, DefaultsAndRoundTrip) {
+  hil::ParameterBus bus;
+  EXPECT_TRUE(bus.has("beam_pulse_scale"));
+  EXPECT_DOUBLE_EQ(bus.get("beam_pulse_scale"), 1.0);
+  bus.set("beam_pulse_scale", 0.5);
+  EXPECT_DOUBLE_EQ(bus.get("beam_pulse_scale"), 0.5);
+  EXPECT_THROW(bus.get("nope"), std::logic_error);
+}
+
+TEST(ParamBus, MonitorSelection) {
+  hil::ParameterBus bus;
+  EXPECT_EQ(bus.monitor_source(), hil::MonitorSource::kPhaseDifference);
+  bus.select_monitor(hil::MonitorSource::kBeamSignalMirror);
+  EXPECT_EQ(bus.monitor_source(), hil::MonitorSource::kBeamSignalMirror);
+}
+
+}  // namespace
+}  // namespace citl

@@ -1,0 +1,131 @@
+// DSP pulse-phase detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "core/units.hpp"
+#include "ctrl/phasedetector.hpp"
+#include "sig/gauss.hpp"
+
+namespace citl::ctrl {
+namespace {
+
+constexpr double kPeriodTicks = 312.5;  // 800 kHz at 250 MHz
+
+/// Plays a Gauss pulse centred at `center` through the detector; returns the
+/// emitted phase sample (if any).
+std::optional<PhaseSample> measure_pulse(PulsePhaseDetector& det,
+                                         double center) {
+  sig::GaussPulseGenerator gen(sig::GaussPulseShape(7.5, 0.6));
+  gen.schedule(center);
+  const Tick begin = static_cast<Tick>(center) - 60;
+  for (Tick t = begin; t < begin + 140; ++t) {
+    if (auto s = det.feed_beam(t, gen.sample(t))) return s;
+  }
+  return std::nullopt;
+}
+
+TEST(PhaseDetector, PulseAtCrossingIsZeroPhase) {
+  PulsePhaseDetector det(kSampleClock, 0.05, 4);
+  det.set_reference(10'000.0, kPeriodTicks);
+  const auto s = measure_pulse(det, 10'000.0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(s->phase_rad, 0.0, 1e-3);
+  EXPECT_EQ(det.pulses_seen(), 1u);
+}
+
+TEST(PhaseDetector, OffsetMapsToBucketAngle) {
+  PulsePhaseDetector det(kSampleClock, 0.05, 4);
+  det.set_reference(10'000.0, kPeriodTicks);
+  const double bucket = kPeriodTicks / 4.0;  // 78.125 ticks
+  // +10° of bucket phase = 10/360 * bucket ticks late.
+  const double offset = 10.0 / 360.0 * bucket;
+  const auto s = measure_pulse(det, 10'000.0 + offset);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(rad_to_deg(s->phase_rad), 10.0, 0.2);
+}
+
+TEST(PhaseDetector, NegativeOffsetsAndWrapping) {
+  PulsePhaseDetector det(kSampleClock, 0.05, 4);
+  det.set_reference(10'000.0, kPeriodTicks);
+  const double bucket = kPeriodTicks / 4.0;
+  // A pulse in the *next* bucket measures as ~0 (mod bucket).
+  const auto s1 = measure_pulse(det, 10'000.0 + bucket);
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_NEAR(rad_to_deg(s1->phase_rad), 0.0, 0.3);
+  // -15 degrees.
+  const auto s2 = measure_pulse(det, 10'000.0 - 15.0 / 360.0 * bucket);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_NEAR(rad_to_deg(s2->phase_rad), -15.0, 0.3);
+}
+
+TEST(PhaseDetector, HarmonicScalesAngle) {
+  // The same time offset is h times more bucket angle at harmonic h.
+  const double offset_ticks = 2.0;
+  double phase_h2 = 0.0, phase_h8 = 0.0;
+  {
+    PulsePhaseDetector det(kSampleClock, 0.05, 2);
+    det.set_reference(10'000.0, kPeriodTicks);
+    phase_h2 = measure_pulse(det, 10'000.0 + offset_ticks)->phase_rad;
+  }
+  {
+    PulsePhaseDetector det(kSampleClock, 0.05, 8);
+    det.set_reference(10'000.0, kPeriodTicks);
+    phase_h8 = measure_pulse(det, 10'000.0 + offset_ticks)->phase_rad;
+  }
+  EXPECT_NEAR(phase_h8 / phase_h2, 4.0, 0.02);
+}
+
+TEST(PhaseDetector, NoReferenceNoSample) {
+  PulsePhaseDetector det(kSampleClock, 0.05, 4);
+  // period not set -> detector cannot compute a bucket.
+  EXPECT_FALSE(measure_pulse(det, 5000.0).has_value());
+  EXPECT_EQ(det.pulses_seen(), 1u);  // the pulse itself was still counted
+}
+
+TEST(PhaseDetector, IgnoresSubThresholdNoise) {
+  PulsePhaseDetector det(kSampleClock, 0.05, 4);
+  det.set_reference(0.0, kPeriodTicks);
+  int fired = 0;
+  for (Tick t = 0; t < 10'000; ++t) {
+    if (det.feed_beam(t, 0.04)) ++fired;  // just below threshold
+  }
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(det.pulses_seen(), 0u);
+}
+
+TEST(PhaseDetector, TwoPulsesTwoSamples) {
+  PulsePhaseDetector det(kSampleClock, 0.05, 4);
+  det.set_reference(10'000.0, kPeriodTicks);
+  sig::GaussPulseGenerator gen(sig::GaussPulseShape(7.5, 0.6));
+  gen.schedule(10'000.0);
+  gen.schedule(10'000.0 + kPeriodTicks);
+  int samples = 0;
+  for (Tick t = 9900; t < 10'500; ++t) {
+    if (det.feed_beam(t, gen.sample(t))) ++samples;
+  }
+  EXPECT_EQ(samples, 2);
+  EXPECT_EQ(det.pulses_seen(), 2u);
+}
+
+TEST(PhaseDetector, CentroidBeatsThresholdEdge) {
+  // The centroid estimator's timing error is far below one sample even
+  // though the pulse spans ~15 samples above threshold.
+  PulsePhaseDetector det(kSampleClock, 0.05, 4);
+  det.set_reference(10'000.0, kPeriodTicks);
+  const double truth = 10'003.3;
+  const auto s = measure_pulse(det, truth);
+  ASSERT_TRUE(s.has_value());
+  const double bucket = kPeriodTicks / 4.0;
+  const double measured_ticks = s->phase_rad / kTwoPi * bucket;
+  EXPECT_NEAR(measured_ticks, 3.3, 0.1);
+}
+
+TEST(PhaseDetector, RejectsBadConstruction) {
+  EXPECT_THROW(PulsePhaseDetector(kSampleClock, 0.0, 4), std::logic_error);
+  EXPECT_THROW(PulsePhaseDetector(kSampleClock, 0.1, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace citl::ctrl

@@ -1,0 +1,257 @@
+// The two-particle tracking map, eqs. (2), (3), (6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/units.hpp"
+#include "phys/ion.hpp"
+#include "phys/machine.hpp"
+#include "phys/relativity.hpp"
+#include "phys/synchrotron.hpp"
+#include "phys/tracker.hpp"
+
+namespace citl::phys {
+namespace {
+
+TwoParticleTracker paper_tracker() {
+  const Ring ring = sis18(4);
+  const double gamma =
+      gamma_from_revolution_frequency(800.0e3, ring.circumference_m);
+  return TwoParticleTracker(ion_n14_7plus(), ring, gamma);
+}
+
+/// Stationary sinusoidal gap waveform used throughout.
+struct Gap {
+  double amplitude_v;
+  double omega;
+  double operator()(double dt) const {
+    return amplitude_v * std::sin(omega * dt);
+  }
+};
+
+Gap paper_gap(const TwoParticleTracker& t, double amplitude_v) {
+  const double omega = kTwoPi * t.ring().harmonic /
+                       t.revolution_time_s();
+  return Gap{amplitude_v, omega};
+}
+
+TEST(Tracker, RequiresMovingReference) {
+  EXPECT_THROW(TwoParticleTracker(ion_proton(), sis18(), 1.0),
+               std::logic_error);
+  EXPECT_THROW(TwoParticleTracker(ion_proton(), sis18(), 0.5),
+               std::logic_error);
+}
+
+TEST(Tracker, InitialStateIsOnReference) {
+  auto t = paper_tracker();
+  EXPECT_DOUBLE_EQ(t.dgamma(), 0.0);
+  EXPECT_DOUBLE_EQ(t.dt_s(), 0.0);
+  EXPECT_EQ(t.turn(), 0);
+}
+
+TEST(Tracker, ZeroVoltageKeepsEverythingConstant) {
+  auto t = paper_tracker();
+  const double g0 = t.gamma_r();
+  for (int i = 0; i < 1000; ++i) t.step({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(t.gamma_r(), g0);
+  EXPECT_DOUBLE_EQ(t.dgamma(), 0.0);
+  EXPECT_DOUBLE_EQ(t.dt_s(), 0.0);
+  EXPECT_EQ(t.turn(), 1000);
+}
+
+TEST(Tracker, ReferenceVoltageAccelerates) {
+  // Eq. (2): gamma_R,n = gamma_R,n-1 + (Q/mc²)·V_R.
+  auto t = paper_tracker();
+  const double g0 = t.gamma_r();
+  const double vr = 3000.0;  // volts per turn
+  t.step({vr, vr});
+  EXPECT_DOUBLE_EQ(t.gamma_r(),
+                   g0 + t.ion().charge_over_mc2() * vr);
+  // Equal voltages keep the asynchronous particle glued to the reference.
+  EXPECT_DOUBLE_EQ(t.dgamma(), 0.0);
+  EXPECT_DOUBLE_EQ(t.dt_s(), 0.0);
+}
+
+TEST(Tracker, VoltageDifferenceDrivesDeltaGamma) {
+  // Eq. (3).
+  auto t = paper_tracker();
+  t.step({1000.0, 1600.0});
+  EXPECT_NEAR(t.dgamma(), t.ion().charge_over_mc2() * 600.0, 1e-18);
+}
+
+TEST(Tracker, DriftSignBelowTransition) {
+  // Below transition eta < 0: a particle with surplus energy arrives
+  // *earlier* each turn (dt decreases). Eq. (6).
+  auto t = paper_tracker();
+  ASSERT_LT(t.eta(), 0.0);
+  t.displace(1.0e-5, 0.0);
+  t.step({0.0, 0.0});
+  EXPECT_LT(t.dt_s(), 0.0);
+}
+
+TEST(Tracker, DriftSignAboveTransition) {
+  const Ring ring = sis18(4);
+  const double gamma_above = ring.gamma_transition() * 2.0;
+  TwoParticleTracker t(ion_n14_7plus(), ring, gamma_above);
+  ASSERT_GT(t.eta(), 0.0);
+  t.displace(1.0e-5, 0.0);
+  t.step({0.0, 0.0});
+  EXPECT_GT(t.dt_s(), 0.0);
+}
+
+TEST(Tracker, DriftCoefficientMatchesWorkingPoint) {
+  auto t = paper_tracker();
+  const WorkingPoint wp =
+      working_point(t.ion(), t.ring(), t.gamma_r(), 1.0);
+  EXPECT_NEAR(t.drift_per_dgamma_s(), wp.drift_per_dgamma_s,
+              1e-12 * std::abs(wp.drift_per_dgamma_s));
+}
+
+TEST(Tracker, SmallOscillationFrequencyMatchesAnalytic) {
+  // Track a small displacement through several synchrotron periods and
+  // compare the zero-crossing period of dt against the analytic f_s.
+  auto t = paper_tracker();
+  const double vhat = amplitude_for_synchrotron_frequency(
+      t.ion(), t.ring(), t.gamma_r(), 1280.0);
+  const Gap gap = paper_gap(t, vhat);
+  t.displace(0.0, 5.0e-9);
+
+  const double f_rev = 1.0 / t.revolution_time_s();
+  int crossings = 0;
+  double first = 0.0, last = 0.0;
+  double prev = t.dt_s();
+  const int turns = static_cast<int>(6.0 * f_rev / 1280.0);  // ~6 periods
+  for (int i = 0; i < turns; ++i) {
+    t.step_with_waveform([&](double dt) { return gap(dt); });
+    if (prev > 0.0 && t.dt_s() <= 0.0) {
+      const double turn_time = static_cast<double>(t.turn());
+      if (crossings == 0) first = turn_time;
+      last = turn_time;
+      ++crossings;
+    }
+    prev = t.dt_s();
+  }
+  ASSERT_GE(crossings, 2);
+  const double period_turns = (last - first) / (crossings - 1);
+  const double f_meas = f_rev / period_turns;
+  EXPECT_NEAR(f_meas, 1280.0, 20.0);
+}
+
+TEST(Tracker, OscillationAmplitudeIsBounded) {
+  // Inside the bucket the motion must stay bounded (stable libration).
+  auto t = paper_tracker();
+  const double vhat = 4860.0;
+  const Gap gap = paper_gap(t, vhat);
+  const double dt0 = 8.0e-9;
+  t.displace(0.0, dt0);
+  double max_abs = 0.0;
+  for (int i = 0; i < 30'000; ++i) {
+    t.step_with_waveform([&](double dt) { return gap(dt); });
+    max_abs = std::max(max_abs, std::abs(t.dt_s()));
+  }
+  EXPECT_LT(max_abs, 1.3 * dt0);  // symplectic map: amplitude preserved
+  EXPECT_GT(max_abs, 0.9 * dt0);
+}
+
+TEST(Tracker, OutsideBucketMotionEscapes) {
+  // A particle displaced beyond the separatrix is not captured: |dt| grows
+  // past the bucket half-length.
+  auto t = paper_tracker();
+  const double vhat = 4860.0;
+  const Gap gap = paper_gap(t, vhat);
+  const double bucket_half_dgamma =
+      bucket_half_height_dgamma(t.ion(), t.ring(), t.gamma_r(), vhat);
+  t.displace(1.5 * bucket_half_dgamma, 0.0);
+  const double bucket_half_len = t.revolution_time_s() /
+                                 t.ring().harmonic / 2.0;
+  bool escaped = false;
+  for (int i = 0; i < 60'000 && !escaped; ++i) {
+    t.step_with_waveform([&](double dt) { return gap(dt); });
+    escaped = std::abs(t.dt_s()) > 2.0 * bucket_half_len;
+  }
+  EXPECT_TRUE(escaped);
+}
+
+TEST(Tracker, PhaseSpaceAreaPreserved) {
+  // The kick–drift map is symplectic: the quadratic invariant
+  // I = dgamma² + (mu/|d|·dt)² is conserved for small amplitudes.
+  auto t = paper_tracker();
+  const double vhat = 4860.0;
+  const Gap gap = paper_gap(t, vhat);
+  const WorkingPoint wp = working_point(t.ion(), t.ring(), t.gamma_r(), vhat);
+  const double mu = std::sqrt(-wp.drift_per_dgamma_s * wp.kick_slope_per_s);
+  const double scale = mu / std::abs(wp.drift_per_dgamma_s);
+  t.displace(0.0, 4.0e-9);
+  const double i0 = std::pow(scale * t.dt_s(), 2);
+  double min_i = i0, max_i = i0;
+  for (int i = 0; i < 20'000; ++i) {
+    t.step_with_waveform([&](double dt) { return gap(dt); });
+    const double inv =
+        t.dgamma() * t.dgamma() + std::pow(scale * t.dt_s(), 2);
+    min_i = std::min(min_i, inv);
+    max_i = std::max(max_i, inv);
+  }
+  EXPECT_NEAR(max_i / i0, 1.0, 0.05);
+  EXPECT_NEAR(min_i / i0, 1.0, 0.05);
+}
+
+TEST(Tracker, AccelerationRampRaisesEnergyAndShortensPeriod) {
+  // §VI outlook ("ramp-up case"): with a synchronous phase, the reference
+  // energy climbs and the revolution time falls.
+  auto t = paper_tracker();
+  const double t_rev0 = t.revolution_time_s();
+  const double v_sync = 2000.0;  // effective V̂·sin(φ_s) per turn
+  for (int i = 0; i < 10'000; ++i) t.step({v_sync, v_sync});
+  EXPECT_GT(t.gamma_r(),
+            gamma_from_revolution_frequency(800.0e3, 216.72));
+  EXPECT_LT(t.revolution_time_s(), t_rev0);
+}
+
+// ---- parameterised sweep: f_s matches theory across species/voltages -----
+
+using SweepParam = std::tuple<int /*species*/, double /*vhat*/, int /*h*/>;
+
+class TrackerFrequencySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TrackerFrequencySweep, MeasuredSynchrotronFrequencyMatchesTheory) {
+  const auto [species, vhat, harmonic] = GetParam();
+  const Ion ion = species == 0   ? ion_n14_7plus()
+                  : species == 1 ? ion_ar40_18plus()
+                                 : ion_u238_28plus();
+  const Ring ring = sis18(harmonic);
+  const double gamma =
+      gamma_from_revolution_frequency(600.0e3, ring.circumference_m);
+  TwoParticleTracker t(ion, ring, gamma);
+  const double f_s = synchrotron_frequency_hz(ion, ring, gamma, vhat);
+  const double omega = kTwoPi * harmonic / t.revolution_time_s();
+  t.displace(0.0, 3.0e-9);
+
+  const double f_rev = 1.0 / t.revolution_time_s();
+  int crossings = 0;
+  double first = 0.0, last = 0.0;
+  double prev = t.dt_s();
+  const int turns = static_cast<int>(8.0 * f_rev / f_s);
+  for (int i = 0; i < turns; ++i) {
+    t.step_with_waveform(
+        [&](double dt) { return vhat * std::sin(omega * dt); });
+    if (prev > 0.0 && t.dt_s() <= 0.0) {
+      if (crossings == 0) first = t.turn();
+      last = t.turn();
+      ++crossings;
+    }
+    prev = t.dt_s();
+  }
+  ASSERT_GE(crossings, 3);
+  const double f_meas = f_rev * (crossings - 1) / (last - first);
+  EXPECT_NEAR(f_meas, f_s, 0.02 * f_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpeciesVoltagesHarmonics, TrackerFrequencySweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(2000.0, 5000.0, 12000.0),
+                       ::testing::Values(2, 4)));
+
+}  // namespace
+}  // namespace citl::phys

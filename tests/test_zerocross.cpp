@@ -1,0 +1,131 @@
+// Zero-crossing and period-length detectors (§III-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.hpp"
+#include "core/units.hpp"
+#include "sig/zerocross.hpp"
+
+namespace citl::sig {
+namespace {
+
+TEST(ZeroCross, DetectsPositiveCrossingsOnly) {
+  ZeroCrossingDetector det;
+  // Square-ish sequence: -1 -1 +1 +1 -1 -1 +1 ...
+  int fired = 0;
+  const double seq[] = {-1, -1, 1, 1, -1, -1, 1, 1};
+  for (Tick t = 0; t < 8; ++t) {
+    if (det.feed(t, seq[t])) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(det.crossings(), 2u);
+}
+
+TEST(ZeroCross, SubSampleInterpolation) {
+  ZeroCrossingDetector det;
+  det.feed(10, -0.25);
+  EXPECT_TRUE(det.feed(11, 0.75));
+  // Crossing at 10 + 0.25/(0.25+0.75) = 10.25.
+  EXPECT_NEAR(det.last_crossing_tick(), 10.25, 1e-12);
+}
+
+TEST(ZeroCross, SineCrossingAccuracy) {
+  const double f = 800.0e3, fs = 250.0e6;
+  ZeroCrossingDetector det;
+  double worst = 0.0;
+  int found = 0;
+  for (Tick t = 0; t < 2'000'000; ++t) {
+    const double v = std::sin(kTwoPi * f * (static_cast<double>(t) + 0.37) / fs);
+    if (det.feed(t, v)) {
+      // True crossings at (k/f)·fs − 0.37 ticks.
+      const double period_ticks = fs / f;
+      const double raw = det.last_crossing_tick() + 0.37;
+      const double frac = raw / period_ticks - std::round(raw / period_ticks);
+      worst = std::max(worst, std::abs(frac * period_ticks));
+      ++found;
+    }
+  }
+  EXPECT_GT(found, 6000);
+  EXPECT_LT(worst, 0.01);  // centi-sample accuracy on clean sine
+}
+
+TEST(ZeroCross, HysteresisSuppressesNoiseDoubleTriggers) {
+  // Noise riding on zero would double-trigger a naive comparator.
+  Rng rng(3);
+  const double f = 800.0e3, fs = 250.0e6;
+  ZeroCrossingDetector naive(0.0);
+  ZeroCrossingDetector hyst(0.08);
+  for (Tick t = 0; t < 1'000'000; ++t) {
+    const double v = std::sin(kTwoPi * f * static_cast<double>(t) / fs) +
+                     rng.gaussian(0.0, 0.02);
+    naive.feed(t, v);
+    hyst.feed(t, v);
+  }
+  const auto expected = static_cast<std::uint64_t>(1'000'000 * f / fs);
+  EXPECT_GT(naive.crossings(), expected + 10);  // double triggers happen
+  EXPECT_NEAR(static_cast<double>(hyst.crossings()),
+              static_cast<double>(expected), 2.0);
+}
+
+TEST(PeriodDetector, AveragesFourPeriods) {
+  PeriodLengthDetector det(4);
+  EXPECT_FALSE(det.valid());
+  // Crossing times with one outlier interval: 100, 200, 301, 399, 500.
+  for (double t : {100.0, 200.0, 301.0, 399.0, 500.0}) det.on_crossing(t);
+  EXPECT_TRUE(det.valid());
+  EXPECT_DOUBLE_EQ(det.period_ticks(), 100.0);  // outliers average out
+}
+
+TEST(PeriodDetector, InvalidUntilWindowFull) {
+  PeriodLengthDetector det(4);
+  det.on_crossing(0.0);
+  det.on_crossing(100.0);
+  det.on_crossing(200.0);
+  det.on_crossing(300.0);  // only 3 intervals so far
+  EXPECT_FALSE(det.valid());
+  det.on_crossing(400.0);
+  EXPECT_TRUE(det.valid());
+}
+
+TEST(PeriodDetector, PartialAverageBeforeFull) {
+  PeriodLengthDetector det(4);
+  det.on_crossing(0.0);
+  det.on_crossing(80.0);
+  EXPECT_DOUBLE_EQ(det.period_ticks(), 80.0);
+}
+
+TEST(PeriodDetector, SecondsConversion) {
+  PeriodLengthDetector det(2);
+  det.on_crossing(0.0);
+  det.on_crossing(312.5);
+  det.on_crossing(625.0);
+  EXPECT_TRUE(det.valid());
+  EXPECT_NEAR(det.period_seconds(kSampleClock), 1.25e-6, 1e-15);  // 800 kHz
+}
+
+TEST(PeriodDetector, TracksFrequencyChange) {
+  PeriodLengthDetector det(4);
+  double t = 0.0;
+  for (int i = 0; i < 5; ++i) det.on_crossing(t += 100.0);
+  EXPECT_DOUBLE_EQ(det.period_ticks(), 100.0);
+  for (int i = 0; i < 4; ++i) det.on_crossing(t += 120.0);
+  EXPECT_DOUBLE_EQ(det.period_ticks(), 120.0);  // window fully refreshed
+}
+
+TEST(EndToEnd, DetectorChainMeasures800kHz) {
+  // The §IV-B init path: sine -> crossing detector -> 4-period average.
+  const double f = 800.0e3, fs = 250.0e6;
+  ZeroCrossingDetector zc;
+  PeriodLengthDetector pd(4);
+  for (Tick t = 0; t < 3000; ++t) {
+    if (zc.feed(t, std::sin(kTwoPi * f * static_cast<double>(t) / fs))) {
+      pd.on_crossing(zc.last_crossing_tick());
+    }
+  }
+  ASSERT_TRUE(pd.valid());
+  EXPECT_NEAR(pd.period_seconds(ClockDomain(fs)), 1.25e-6, 1e-11);
+}
+
+}  // namespace
+}  // namespace citl::sig
