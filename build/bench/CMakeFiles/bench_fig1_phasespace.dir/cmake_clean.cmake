@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_phasespace.dir/bench_fig1_phasespace.cpp.o"
+  "CMakeFiles/bench_fig1_phasespace.dir/bench_fig1_phasespace.cpp.o.d"
+  "bench_fig1_phasespace"
+  "bench_fig1_phasespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_phasespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

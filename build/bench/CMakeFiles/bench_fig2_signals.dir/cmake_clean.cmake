@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_signals.dir/bench_fig2_signals.cpp.o"
+  "CMakeFiles/bench_fig2_signals.dir/bench_fig2_signals.cpp.o.d"
+  "bench_fig2_signals"
+  "bench_fig2_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

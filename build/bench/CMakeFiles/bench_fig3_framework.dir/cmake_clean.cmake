@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_framework.dir/bench_fig3_framework.cpp.o"
+  "CMakeFiles/bench_fig3_framework.dir/bench_fig3_framework.cpp.o.d"
+  "bench_fig3_framework"
+  "bench_fig3_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_damping.dir/bench_fig5_damping.cpp.o"
+  "CMakeFiles/bench_fig5_damping.dir/bench_fig5_damping.cpp.o.d"
+  "bench_fig5_damping"
+  "bench_fig5_damping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_damping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ramp.dir/bench_ramp.cpp.o"
+  "CMakeFiles/bench_ramp.dir/bench_ramp.cpp.o.d"
+  "bench_ramp"
+  "bench_ramp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

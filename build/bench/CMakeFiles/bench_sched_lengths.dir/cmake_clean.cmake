@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_lengths.dir/bench_sched_lengths.cpp.o"
+  "CMakeFiles/bench_sched_lengths.dir/bench_sched_lengths.cpp.o.d"
+  "bench_sched_lengths"
+  "bench_sched_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_playground.dir/cgra_playground.cpp.o"
+  "CMakeFiles/cgra_playground.dir/cgra_playground.cpp.o.d"
+  "cgra_playground"
+  "cgra_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibunch.dir/multibunch.cpp.o"
+  "CMakeFiles/multibunch.dir/multibunch.cpp.o.d"
+  "multibunch"
+  "multibunch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibunch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_study.dir/offline_study.cpp.o"
+  "CMakeFiles/offline_study.dir/offline_study.cpp.o.d"
+  "offline_study"
+  "offline_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

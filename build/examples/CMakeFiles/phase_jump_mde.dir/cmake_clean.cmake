@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_jump_mde.dir/phase_jump_mde.cpp.o"
+  "CMakeFiles/phase_jump_mde.dir/phase_jump_mde.cpp.o.d"
+  "phase_jump_mde"
+  "phase_jump_mde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_jump_mde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

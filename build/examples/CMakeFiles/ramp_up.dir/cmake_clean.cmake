@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_up.dir/ramp_up.cpp.o"
+  "CMakeFiles/ramp_up.dir/ramp_up.cpp.o.d"
+  "ramp_up"
+  "ramp_up.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_up.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

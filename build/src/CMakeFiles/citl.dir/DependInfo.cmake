@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgra/bitstream.cpp" "src/CMakeFiles/citl.dir/cgra/bitstream.cpp.o" "gcc" "src/CMakeFiles/citl.dir/cgra/bitstream.cpp.o.d"
+  "/root/repo/src/cgra/ir.cpp" "src/CMakeFiles/citl.dir/cgra/ir.cpp.o" "gcc" "src/CMakeFiles/citl.dir/cgra/ir.cpp.o.d"
+  "/root/repo/src/cgra/kernels.cpp" "src/CMakeFiles/citl.dir/cgra/kernels.cpp.o" "gcc" "src/CMakeFiles/citl.dir/cgra/kernels.cpp.o.d"
+  "/root/repo/src/cgra/lexer.cpp" "src/CMakeFiles/citl.dir/cgra/lexer.cpp.o" "gcc" "src/CMakeFiles/citl.dir/cgra/lexer.cpp.o.d"
+  "/root/repo/src/cgra/lower.cpp" "src/CMakeFiles/citl.dir/cgra/lower.cpp.o" "gcc" "src/CMakeFiles/citl.dir/cgra/lower.cpp.o.d"
+  "/root/repo/src/cgra/machine.cpp" "src/CMakeFiles/citl.dir/cgra/machine.cpp.o" "gcc" "src/CMakeFiles/citl.dir/cgra/machine.cpp.o.d"
+  "/root/repo/src/cgra/parser.cpp" "src/CMakeFiles/citl.dir/cgra/parser.cpp.o" "gcc" "src/CMakeFiles/citl.dir/cgra/parser.cpp.o.d"
+  "/root/repo/src/cgra/schedule.cpp" "src/CMakeFiles/citl.dir/cgra/schedule.cpp.o" "gcc" "src/CMakeFiles/citl.dir/cgra/schedule.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/CMakeFiles/citl.dir/core/parallel.cpp.o" "gcc" "src/CMakeFiles/citl.dir/core/parallel.cpp.o.d"
+  "/root/repo/src/ctrl/controller.cpp" "src/CMakeFiles/citl.dir/ctrl/controller.cpp.o" "gcc" "src/CMakeFiles/citl.dir/ctrl/controller.cpp.o.d"
+  "/root/repo/src/ctrl/iqdetector.cpp" "src/CMakeFiles/citl.dir/ctrl/iqdetector.cpp.o" "gcc" "src/CMakeFiles/citl.dir/ctrl/iqdetector.cpp.o.d"
+  "/root/repo/src/ctrl/phasedetector.cpp" "src/CMakeFiles/citl.dir/ctrl/phasedetector.cpp.o" "gcc" "src/CMakeFiles/citl.dir/ctrl/phasedetector.cpp.o.d"
+  "/root/repo/src/hil/console.cpp" "src/CMakeFiles/citl.dir/hil/console.cpp.o" "gcc" "src/CMakeFiles/citl.dir/hil/console.cpp.o.d"
+  "/root/repo/src/hil/experiment.cpp" "src/CMakeFiles/citl.dir/hil/experiment.cpp.o" "gcc" "src/CMakeFiles/citl.dir/hil/experiment.cpp.o.d"
+  "/root/repo/src/hil/framework.cpp" "src/CMakeFiles/citl.dir/hil/framework.cpp.o" "gcc" "src/CMakeFiles/citl.dir/hil/framework.cpp.o.d"
+  "/root/repo/src/hil/ramploop.cpp" "src/CMakeFiles/citl.dir/hil/ramploop.cpp.o" "gcc" "src/CMakeFiles/citl.dir/hil/ramploop.cpp.o.d"
+  "/root/repo/src/hil/turnloop.cpp" "src/CMakeFiles/citl.dir/hil/turnloop.cpp.o" "gcc" "src/CMakeFiles/citl.dir/hil/turnloop.cpp.o.d"
+  "/root/repo/src/io/asciiplot.cpp" "src/CMakeFiles/citl.dir/io/asciiplot.cpp.o" "gcc" "src/CMakeFiles/citl.dir/io/asciiplot.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/citl.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/citl.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/citl.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/citl.dir/io/table.cpp.o.d"
+  "/root/repo/src/offline/longsim.cpp" "src/CMakeFiles/citl.dir/offline/longsim.cpp.o" "gcc" "src/CMakeFiles/citl.dir/offline/longsim.cpp.o.d"
+  "/root/repo/src/phys/ensemble.cpp" "src/CMakeFiles/citl.dir/phys/ensemble.cpp.o" "gcc" "src/CMakeFiles/citl.dir/phys/ensemble.cpp.o.d"
+  "/root/repo/src/phys/rf.cpp" "src/CMakeFiles/citl.dir/phys/rf.cpp.o" "gcc" "src/CMakeFiles/citl.dir/phys/rf.cpp.o.d"
+  "/root/repo/src/phys/synchrotron.cpp" "src/CMakeFiles/citl.dir/phys/synchrotron.cpp.o" "gcc" "src/CMakeFiles/citl.dir/phys/synchrotron.cpp.o.d"
+  "/root/repo/src/phys/tracker.cpp" "src/CMakeFiles/citl.dir/phys/tracker.cpp.o" "gcc" "src/CMakeFiles/citl.dir/phys/tracker.cpp.o.d"
+  "/root/repo/src/sig/dds.cpp" "src/CMakeFiles/citl.dir/sig/dds.cpp.o" "gcc" "src/CMakeFiles/citl.dir/sig/dds.cpp.o.d"
+  "/root/repo/src/sig/fir.cpp" "src/CMakeFiles/citl.dir/sig/fir.cpp.o" "gcc" "src/CMakeFiles/citl.dir/sig/fir.cpp.o.d"
+  "/root/repo/src/sig/gauss.cpp" "src/CMakeFiles/citl.dir/sig/gauss.cpp.o" "gcc" "src/CMakeFiles/citl.dir/sig/gauss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch_fuzz.cpp" "tests/CMakeFiles/citl_tests.dir/test_arch_fuzz.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_arch_fuzz.cpp.o.d"
+  "/root/repo/tests/test_bitstream.cpp" "tests/CMakeFiles/citl_tests.dir/test_bitstream.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_bitstream.cpp.o.d"
+  "/root/repo/tests/test_bucket_property.cpp" "tests/CMakeFiles/citl_tests.dir/test_bucket_property.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_bucket_property.cpp.o.d"
+  "/root/repo/tests/test_cgra_cordic.cpp" "tests/CMakeFiles/citl_tests.dir/test_cgra_cordic.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_cgra_cordic.cpp.o.d"
+  "/root/repo/tests/test_cgra_frontend.cpp" "tests/CMakeFiles/citl_tests.dir/test_cgra_frontend.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_cgra_frontend.cpp.o.d"
+  "/root/repo/tests/test_cgra_fuzz.cpp" "tests/CMakeFiles/citl_tests.dir/test_cgra_fuzz.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_cgra_fuzz.cpp.o.d"
+  "/root/repo/tests/test_cgra_ir.cpp" "tests/CMakeFiles/citl_tests.dir/test_cgra_ir.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_cgra_ir.cpp.o.d"
+  "/root/repo/tests/test_cgra_kernels.cpp" "tests/CMakeFiles/citl_tests.dir/test_cgra_kernels.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_cgra_kernels.cpp.o.d"
+  "/root/repo/tests/test_cgra_machine.cpp" "tests/CMakeFiles/citl_tests.dir/test_cgra_machine.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_cgra_machine.cpp.o.d"
+  "/root/repo/tests/test_cgra_schedule.cpp" "tests/CMakeFiles/citl_tests.dir/test_cgra_schedule.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_cgra_schedule.cpp.o.d"
+  "/root/repo/tests/test_console.cpp" "tests/CMakeFiles/citl_tests.dir/test_console.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_console.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/citl_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_converters.cpp" "tests/CMakeFiles/citl_tests.dir/test_converters.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_converters.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/citl_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dds.cpp" "tests/CMakeFiles/citl_tests.dir/test_dds.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_dds.cpp.o.d"
+  "/root/repo/tests/test_dualharmonic.cpp" "tests/CMakeFiles/citl_tests.dir/test_dualharmonic.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_dualharmonic.cpp.o.d"
+  "/root/repo/tests/test_ensemble.cpp" "tests/CMakeFiles/citl_tests.dir/test_ensemble.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_ensemble.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/citl_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/citl_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_fir.cpp" "tests/CMakeFiles/citl_tests.dir/test_fir.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_fir.cpp.o.d"
+  "/root/repo/tests/test_framework.cpp" "tests/CMakeFiles/citl_tests.dir/test_framework.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_framework.cpp.o.d"
+  "/root/repo/tests/test_gauss.cpp" "tests/CMakeFiles/citl_tests.dir/test_gauss.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_gauss.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/citl_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_iqdetector.cpp" "tests/CMakeFiles/citl_tests.dir/test_iqdetector.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_iqdetector.cpp.o.d"
+  "/root/repo/tests/test_offline.cpp" "tests/CMakeFiles/citl_tests.dir/test_offline.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_offline.cpp.o.d"
+  "/root/repo/tests/test_phasedetector.cpp" "tests/CMakeFiles/citl_tests.dir/test_phasedetector.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_phasedetector.cpp.o.d"
+  "/root/repo/tests/test_phasespace.cpp" "tests/CMakeFiles/citl_tests.dir/test_phasespace.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_phasespace.cpp.o.d"
+  "/root/repo/tests/test_ramploop.cpp" "tests/CMakeFiles/citl_tests.dir/test_ramploop.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_ramploop.cpp.o.d"
+  "/root/repo/tests/test_relativity.cpp" "tests/CMakeFiles/citl_tests.dir/test_relativity.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_relativity.cpp.o.d"
+  "/root/repo/tests/test_rf.cpp" "tests/CMakeFiles/citl_tests.dir/test_rf.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_rf.cpp.o.d"
+  "/root/repo/tests/test_ringbuffer.cpp" "tests/CMakeFiles/citl_tests.dir/test_ringbuffer.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_ringbuffer.cpp.o.d"
+  "/root/repo/tests/test_showcase_kernels.cpp" "tests/CMakeFiles/citl_tests.dir/test_showcase_kernels.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_showcase_kernels.cpp.o.d"
+  "/root/repo/tests/test_synchrotron.cpp" "tests/CMakeFiles/citl_tests.dir/test_synchrotron.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_synchrotron.cpp.o.d"
+  "/root/repo/tests/test_tracker.cpp" "tests/CMakeFiles/citl_tests.dir/test_tracker.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_tracker.cpp.o.d"
+  "/root/repo/tests/test_turnloop.cpp" "tests/CMakeFiles/citl_tests.dir/test_turnloop.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_turnloop.cpp.o.d"
+  "/root/repo/tests/test_zerocross.cpp" "tests/CMakeFiles/citl_tests.dir/test_zerocross.cpp.o" "gcc" "tests/CMakeFiles/citl_tests.dir/test_zerocross.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/citl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
