@@ -76,6 +76,7 @@ void ThreadPool::parallel_for_chunks(
     body(begin, end);
     return;
   }
+  std::lock_guard submit_lock(submit_mutex_);
   {
     std::lock_guard lock(mutex_);
     job_ = Job{&body, begin, end, chunks};

@@ -21,7 +21,12 @@ namespace citl {
 ///   ThreadPool pool;                       // hardware_concurrency workers
 ///   pool.parallel_for(0, n, [&](std::size_t i) { ... });
 /// The call blocks until every index has been processed. Exceptions thrown by
-/// the body are rethrown on the calling thread (first one wins).
+/// the body are rethrown on the calling thread exactly once (first one wins;
+/// the remaining chunks still run to completion so the pool stays reusable).
+///
+/// parallel_for may be called from several threads at once — submissions are
+/// serialised, one job at a time. It must NOT be called from inside a body
+/// running on the same pool (the nested submission would wait on itself).
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
@@ -61,6 +66,11 @@ class ThreadPool {
   void run_chunk(const Job& job, std::size_t chunk_index);
 
   std::vector<std::thread> workers_;
+  /// Held for the whole of a parallel_for call: job_/pending_/generation_
+  /// describe ONE job at a time, so concurrent submitters must queue. Without
+  /// this, two simultaneous callers overwrite each other's job and pending
+  /// count, and the loser waits on cv_done_ forever.
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

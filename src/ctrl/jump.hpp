@@ -39,6 +39,7 @@ class PhaseJumpProgramme {
 
   [[nodiscard]] double amplitude_rad() const noexcept { return amplitude_rad_; }
   [[nodiscard]] double interval_s() const noexcept { return interval_s_; }
+  [[nodiscard]] double start_s() const noexcept { return start_s_; }
 
  private:
   double amplitude_rad_;

@@ -72,8 +72,36 @@ class Framework::FrameworkBus final : public cgra::SensorBus {
   Framework& fw_;
 };
 
+namespace {
+
+/// Decorrelates the per-channel ADC noise streams across sweep scenarios
+/// while keeping the historical seeds (11, 12) for noise_seed = 0.
+std::uint64_t adc_seed(std::uint64_t channel, std::uint64_t noise_seed) {
+  return channel ^ (noise_seed * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
+
+cgra::BeamKernelConfig Framework::effective_kernel_config(
+    const FrameworkConfig& config) {
+  cgra::BeamKernelConfig kc = config.kernel;
+  kc.gamma0 = phys::gamma_from_revolution_frequency(
+      config.f_ref_hz, kc.ring.circumference_m);
+  kc.v_scale = config.gap_voltage_v / config.gap_amplitude_v;
+  return kc;
+}
+
 Framework::Framework(const FrameworkConfig& config)
+    : Framework(config,
+                std::make_shared<const cgra::CompiledKernel>(
+                    cgra::compile_kernel(
+                        cgra::beam_kernel_source(effective_kernel_config(config)),
+                        config.arch))) {}
+
+Framework::Framework(const FrameworkConfig& config,
+                     std::shared_ptr<const cgra::CompiledKernel> kernel)
     : config_(config),
+      kernel_(std::move(kernel)),
       ref_dds_(kSampleClock, config.f_ref_hz, config.ref_amplitude_v),
       gap_dds_(kSampleClock,
                config.f_ref_hz *
@@ -83,8 +111,10 @@ Framework::Framework(const FrameworkConfig& config)
                 2.0 * config.f_ref_hz *
                     static_cast<double>(config.kernel.ring.harmonic),
                 config.gap_amplitude_v * std::abs(config.gap_h2_ratio)),
-      adc_ref_(sig::Adc::fmc151(config.adc_noise_rms_v, 11)),
-      adc_gap_(sig::Adc::fmc151(config.adc_noise_rms_v, 12)),
+      adc_ref_(sig::Adc::fmc151(config.adc_noise_rms_v,
+                                adc_seed(11, config.noise_seed))),
+      adc_gap_(sig::Adc::fmc151(config.adc_noise_rms_v,
+                                adc_seed(12, config.noise_seed))),
       dac_beam_(sig::Dac::fmc151()),
       dac_monitor_(sig::Dac::fmc151()),
       ref_buf_(config.buffer_depth_log2),
@@ -106,15 +136,9 @@ Framework::Framework(const FrameworkConfig& config)
       phase_trace_("phase_rad", 1, 1u << 20),
       correction_trace_("correction_hz", 1, 1u << 20),
       beam_trace_("beam_v", 1, 1u << 20) {
-  // Host-side initialisation (§IV-B): gamma0 from the revolution frequency,
-  // ADC-to-gap voltage scaling baked into the kernel parameters.
-  cgra::BeamKernelConfig kc = config.kernel;
-  kc.gamma0 = phys::gamma_from_revolution_frequency(
-      config.f_ref_hz, kc.ring.circumference_m);
-  kc.v_scale = config.gap_voltage_v / config.gap_amplitude_v;
-  kernel_ = cgra::compile_kernel(cgra::beam_kernel_source(kc), config.arch);
+  CITL_CHECK_MSG(kernel_ != nullptr, "Framework needs a compiled kernel");
   bus_ = std::make_unique<FrameworkBus>(*this);
-  machine_ = std::make_unique<cgra::CgraMachine>(kernel_, *bus_);
+  machine_ = std::make_unique<cgra::CgraMachine>(*kernel_, *bus_);
   control_on_ = config.control_enabled;
   last_phase_ = std::numeric_limits<double>::quiet_NaN();
 }
@@ -137,8 +161,8 @@ void Framework::run_cgra() {
   ++cgra_runs_;
   // Hard real-time check (§IV-B): the schedule must complete within one
   // reference period at the CGRA clock.
-  const double exec_s = static_cast<double>(kernel_.schedule.length) /
-                        kernel_.arch.clock_hz;
+  const double exec_s = static_cast<double>(kernel_->schedule.length) /
+                        kernel_->arch.clock_hz;
   if (exec_s > period_det_.period_seconds(kSampleClock)) {
     ++realtime_violations_;
   }

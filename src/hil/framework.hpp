@@ -59,6 +59,10 @@ struct FrameworkConfig {
   double gap_h2_ratio = 0.0;
   double gap_h2_phase_rad = 3.14159265358979323846;
   double adc_noise_rms_v = 0.0;
+  /// Stream selector for the ADC noise generators: scenario sweeps give each
+  /// framework instance its own deterministic noise realisation. 0 keeps the
+  /// historical seeds, so single-instance runs are unchanged.
+  std::uint64_t noise_seed = 0;
   unsigned buffer_depth_log2 = 13;  ///< paper: 2^13 samples per channel
   double pulse_sigma_s = 30.0e-9;   ///< Gauss beam-pulse sigma
   double pulse_amplitude_v = 0.6;
@@ -80,7 +84,21 @@ struct FrameworkOutputs {
 class Framework {
  public:
   explicit Framework(const FrameworkConfig& config);
+
+  /// Constructs against an already-compiled kernel (shared, immutable). The
+  /// kernel must equal `compile_kernel(beam_kernel_source(
+  /// effective_kernel_config(config)), config.arch)` — scenario sweeps use
+  /// this with a kernel cache so a hundred frameworks share one compilation.
+  /// Each framework still owns its private CgraMachine (all mutable state).
+  Framework(const FrameworkConfig& config,
+            std::shared_ptr<const cgra::CompiledKernel> kernel);
   ~Framework();
+
+  /// The kernel configuration actually compiled: host-side initialisation
+  /// (§IV-B) bakes gamma0 from the revolution frequency and the ADC-to-gap
+  /// voltage scaling into the kernel constants.
+  [[nodiscard]] static cgra::BeamKernelConfig effective_kernel_config(
+      const FrameworkConfig& config);
 
   /// Advances one 250 MHz tick; returns the DAC outputs for that tick.
   FrameworkOutputs tick();
@@ -101,7 +119,7 @@ class Framework {
   }
 
   [[nodiscard]] const cgra::CompiledKernel& kernel() const noexcept {
-    return kernel_;
+    return *kernel_;
   }
   [[nodiscard]] cgra::CgraMachine& machine() noexcept { return *machine_; }
   [[nodiscard]] ParameterBus& params() noexcept { return params_; }
@@ -138,7 +156,7 @@ class Framework {
   void handle_phase_sample(const ctrl::PhaseSample& sample);
 
   FrameworkConfig config_;
-  cgra::CompiledKernel kernel_;
+  std::shared_ptr<const cgra::CompiledKernel> kernel_;
   std::unique_ptr<FrameworkBus> bus_;
   std::unique_ptr<cgra::CgraMachine> machine_;
 

@@ -1,0 +1,149 @@
+#include "sweep/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+#include "hil/experiment.hpp"
+
+namespace citl::sweep {
+
+double fit_damping_tau_s(std::span<const double> time_s,
+                         std::span<const double> x, double t_begin,
+                         double t_end, double f_sync_nominal_hz) {
+  CITL_CHECK(time_s.size() == x.size());
+  if (!(f_sync_nominal_hz > 0.0) || !(t_end > t_begin)) return 0.0;
+
+  // The oscillation decays towards its settled value, not towards zero —
+  // use the mean of the last quarter of the window as the baseline.
+  const double tail_begin = t_end - 0.25 * (t_end - t_begin);
+  const double baseline =
+      hil::mean_in_window(time_s, x, tail_begin, t_end);
+
+  // Envelope samples: max |deviation| per half synchrotron period. A half
+  // period always contains one extremum, so the bucket maxima trace the
+  // envelope without needing peak detection.
+  const double bucket_s = 0.5 / f_sync_nominal_hz;
+  const auto n_buckets =
+      static_cast<std::size_t>(std::floor((t_end - t_begin) / bucket_s));
+  if (n_buckets < 3) return 0.0;
+  std::vector<double> env(n_buckets, 0.0);
+  std::vector<bool> seen(n_buckets, false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = time_s[i];
+    if (t < t_begin || t >= t_end) continue;
+    const auto b = static_cast<std::size_t>((t - t_begin) / bucket_s);
+    if (b >= n_buckets) continue;
+    env[b] = std::max(env[b], std::abs(x[i] - baseline));
+    seen[b] = true;
+  }
+
+  // Least-squares fit of ln(env) vs bucket centre, over buckets above the
+  // noise floor (5% of the initial envelope): once the oscillation has sunk
+  // into the steady-state ripple, it no longer informs the decay rate.
+  if (!seen[0] || env[0] <= 0.0) return 0.0;
+  const double floor_level = 0.05 * env[0];
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    if (!seen[b] || env[b] <= floor_level) continue;
+    const double t = t_begin + (static_cast<double>(b) + 0.5) * bucket_s;
+    const double y = std::log(env[b]);
+    sx += t;
+    sy += y;
+    sxx += t * t;
+    sxy += t * y;
+    ++n;
+  }
+  if (n < 3) return 0.0;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  const double slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  if (slope >= 0.0) return std::numeric_limits<double>::infinity();
+  return -1.0 / slope;
+}
+
+namespace {
+
+/// Bin-averages (t, x) over [t_begin, t_end) into bins of width `bin_s`.
+/// The phase trace carries revolution-rate detector ripple; averaging ~30
+/// revolutions per bin suppresses it by >5x before the mean-crossing
+/// frequency estimator runs, without touching the synchrotron-band signal.
+void resample_mean(std::span<const double> time_s, std::span<const double> x,
+                   double t_begin, double t_end, double bin_s,
+                   std::vector<double>& out_t, std::vector<double>& out_x) {
+  out_t.clear();
+  out_x.clear();
+  // A record shorter than the window start yields a negative span; guard it
+  // before the float->size_t cast turns it into a huge allocation.
+  if (!(t_end > t_begin) || !(bin_s > 0.0)) return;
+  const auto n_bins =
+      static_cast<std::size_t>(std::floor((t_end - t_begin) / bin_s));
+  std::vector<double> sums(n_bins, 0.0);
+  std::vector<std::size_t> counts(n_bins, 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = time_s[i];
+    if (t < t_begin || t >= t_end) continue;
+    const auto b = static_cast<std::size_t>((t - t_begin) / bin_s);
+    if (b >= n_bins) continue;
+    sums[b] += x[i];
+    ++counts[b];
+  }
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    if (counts[b] == 0) continue;
+    out_t.push_back(t_begin + (static_cast<double>(b) + 0.5) * bin_s);
+    out_x.push_back(sums[b] / static_cast<double>(counts[b]));
+  }
+}
+
+}  // namespace
+
+ScenarioMetrics extract_phase_metrics(std::span<const double> time_s,
+                                      std::span<const double> phase_rad,
+                                      const MetricWindows& windows) {
+  CITL_CHECK(time_s.size() == phase_rad.size());
+  ScenarioMetrics m;
+  const double t_sync = 1.0 / windows.f_sync_nominal_hz;
+  const double jump = windows.jump_s;
+  const double end = windows.end_s;
+
+  // Frequency while the oscillation is still strong. Three periods is the
+  // sweet spot: long enough for several mean crossings, short enough that a
+  // well-damped loop has not yet sunk into the steady-state ripple (whose
+  // noise crossings would inflate the count). The trace is bin-averaged to
+  // 24 bins per synchrotron period first so ADC-noise-induced phase ripple
+  // cannot fake crossings.
+  std::vector<double> ft, fx;
+  resample_mean(time_s, phase_rad, jump + 0.2e-3,
+                std::min(end, jump + 3.0 * t_sync) , t_sync / 24.0, ft, fx);
+  m.f_sync_measured_hz = hil::estimate_oscillation_frequency_hz(
+      ft, fx, ft.empty() ? 0.0 : ft.front(),
+      ft.empty() ? 0.0 : ft.back() + t_sync);
+
+  // First swing: within ~one synchrotron period after the jump.
+  m.first_swing_rad =
+      hil::peak_to_peak(time_s, phase_rad, jump, jump + 1.2 * t_sync);
+
+  m.damping_tau_s =
+      fit_damping_tau_s(time_s, phase_rad, jump, end,
+                        windows.f_sync_nominal_hz);
+
+  // Steady state: the last three synchrotron periods of the record.
+  const double steady_begin = std::max(jump, end - 3.0 * t_sync);
+  m.settled_phase_rad =
+      hil::mean_in_window(time_s, phase_rad, steady_begin, end);
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < phase_rad.size(); ++i) {
+    if (time_s[i] < steady_begin || time_s[i] >= end) continue;
+    const double d = phase_rad[i] - m.settled_phase_rad;
+    sum_sq += d * d;
+    ++n;
+  }
+  m.steady_rms_rad = n > 0 ? std::sqrt(sum_sq / static_cast<double>(n)) : 0.0;
+  return m;
+}
+
+}  // namespace citl::sweep

@@ -1,0 +1,56 @@
+// Per-scenario figures of merit, extracted from a recorded phase trace.
+//
+// These are the quantities §V of the paper reads off Fig. 5 by eye — how
+// fast the beam-phase loop damps a gap-phase jump, at what frequency the
+// bunch oscillates, and how quiet the settled phase is — plus the simulator
+// health counters (real-time misses, wall-clock cost) that a sweep uses to
+// rank operating points.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace citl::sweep {
+
+/// Analysis windows for one scenario; all times are experiment time [s].
+struct MetricWindows {
+  double jump_s = 0.0;          ///< time of the phase jump (stimulus onset)
+  double end_s = 0.0;           ///< end of the analysed record
+  double f_sync_nominal_hz = 1280.0;  ///< sets the window widths
+};
+
+/// Deterministic metrics of one scenario run. Every field except the
+/// wall-clock pair is a pure function of the scenario configuration and
+/// seed; the sweep determinism tests compare them bit-for-bit.
+struct ScenarioMetrics {
+  double f_sync_measured_hz = 0.0;  ///< mean-crossing estimate after the jump
+  double damping_tau_s = 0.0;       ///< envelope e-folding time; inf = undamped
+  double first_swing_rad = 0.0;     ///< first peak-to-peak after the jump
+  double steady_rms_rad = 0.0;      ///< phase RMS about the settled mean
+  double settled_phase_rad = 0.0;   ///< mean phase in the late window
+  std::int64_t realtime_violations = 0;
+  std::int64_t cgra_runs = 0;
+  double sim_time_s = 0.0;
+  // -- timing (measured, deliberately excluded from determinism checks) --
+  double wall_time_s = 0.0;
+  double wall_over_sim = 0.0;       ///< < 1 means faster than real time
+};
+
+/// Fits the exponential envelope of the oscillation of `x` about its settled
+/// value in [t_begin, t_end): the deviation is rectified, binned into
+/// half-synchrotron-period buckets, and ln(max per bucket) is fitted by
+/// least squares. Returns the e-folding time constant tau [s]; +inf when the
+/// envelope does not decay, 0 when there is too little data to fit.
+[[nodiscard]] double fit_damping_tau_s(std::span<const double> time_s,
+                                       std::span<const double> x,
+                                       double t_begin, double t_end,
+                                       double f_sync_nominal_hz);
+
+/// Extracts the trace-derived metric fields (frequency, damping, swing,
+/// steady-state statistics) from a phase record. The counter and timing
+/// fields are the caller's to fill.
+[[nodiscard]] ScenarioMetrics extract_phase_metrics(
+    std::span<const double> time_s, std::span<const double> phase_rad,
+    const MetricWindows& windows);
+
+}  // namespace citl::sweep

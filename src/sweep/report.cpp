@@ -1,0 +1,120 @@
+#include "sweep/report.hpp"
+
+#include "io/json.hpp"
+
+namespace citl::sweep {
+
+std::vector<io::Column> metrics_columns(const SweepResult& result,
+                                        bool include_timing) {
+  const std::size_t n = result.scenarios.size();
+  auto column = [n](std::string name) {
+    io::Column c{std::move(name), {}};
+    c.values.reserve(n);
+    return c;
+  };
+  io::Column index = column("scenario");
+  io::Column seed = column("seed");
+  io::Column f_sync = column("f_sync_measured_hz");
+  io::Column tau = column("damping_tau_s");
+  io::Column swing = column("first_swing_rad");
+  io::Column rms = column("steady_rms_rad");
+  io::Column settled = column("settled_phase_rad");
+  io::Column violations = column("realtime_violations");
+  io::Column runs = column("cgra_runs");
+  io::Column sim_time = column("sim_time_s");
+  io::Column f_ref = column("f_sync_reference_hz");
+  io::Column wall = column("wall_time_s");
+  io::Column ratio = column("wall_over_sim");
+
+  for (const auto& s : result.scenarios) {
+    index.values.push_back(static_cast<double>(s.index));
+    seed.values.push_back(static_cast<double>(s.seed));
+    f_sync.values.push_back(s.metrics.f_sync_measured_hz);
+    tau.values.push_back(s.metrics.damping_tau_s);
+    swing.values.push_back(s.metrics.first_swing_rad);
+    rms.values.push_back(s.metrics.steady_rms_rad);
+    settled.values.push_back(s.metrics.settled_phase_rad);
+    violations.values.push_back(
+        static_cast<double>(s.metrics.realtime_violations));
+    runs.values.push_back(static_cast<double>(s.metrics.cgra_runs));
+    sim_time.values.push_back(s.metrics.sim_time_s);
+    f_ref.values.push_back(s.f_sync_reference_hz);
+    wall.values.push_back(s.metrics.wall_time_s);
+    ratio.values.push_back(s.metrics.wall_over_sim);
+  }
+
+  std::vector<io::Column> cols{std::move(index),      std::move(seed),
+                               std::move(f_sync),     std::move(tau),
+                               std::move(swing),      std::move(rms),
+                               std::move(settled),    std::move(violations),
+                               std::move(runs),       std::move(sim_time),
+                               std::move(f_ref)};
+  if (include_timing) {
+    cols.push_back(std::move(wall));
+    cols.push_back(std::move(ratio));
+  }
+  return cols;
+}
+
+std::string metrics_csv(const SweepResult& result, bool include_timing) {
+  return io::csv_to_string(metrics_columns(result, include_timing));
+}
+
+void write_metrics_csv(const std::string& path, const SweepResult& result,
+                       bool include_timing) {
+  io::write_csv(path, metrics_columns(result, include_timing));
+}
+
+std::string metrics_json(const SweepResult& result, bool include_timing) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("scenario_count").value(static_cast<std::uint64_t>(
+      result.scenarios.size()));
+  w.key("distinct_kernels").value(static_cast<std::uint64_t>(
+      result.distinct_kernels));
+  w.key("kernel_compilations").value(static_cast<std::uint64_t>(
+      result.kernel_compilations));
+  if (include_timing) {
+    w.key("threads_used").value(static_cast<std::uint64_t>(
+        result.threads_used));
+    w.key("wall_time_s").value(result.wall_time_s);
+  }
+  w.key("scenarios").begin_array();
+  for (const auto& s : result.scenarios) {
+    w.begin_object();
+    w.key("name").value(std::string_view(s.name));
+    w.key("index").value(static_cast<std::uint64_t>(s.index));
+    w.key("seed").value(static_cast<std::uint64_t>(s.seed));
+    w.key("metrics").begin_object();
+    w.key("f_sync_measured_hz").value(s.metrics.f_sync_measured_hz);
+    w.key("damping_tau_s").value(s.metrics.damping_tau_s);
+    w.key("first_swing_rad").value(s.metrics.first_swing_rad);
+    w.key("steady_rms_rad").value(s.metrics.steady_rms_rad);
+    w.key("settled_phase_rad").value(s.metrics.settled_phase_rad);
+    w.key("realtime_violations").value(s.metrics.realtime_violations);
+    w.key("cgra_runs").value(s.metrics.cgra_runs);
+    w.key("sim_time_s").value(s.metrics.sim_time_s);
+    if (include_timing) {
+      w.key("wall_time_s").value(s.metrics.wall_time_s);
+      w.key("wall_over_sim").value(s.metrics.wall_over_sim);
+    }
+    w.end_object();
+    if (s.f_sync_reference_hz != 0.0 || s.reference_first_swing_rad != 0.0) {
+      w.key("reference").begin_object();
+      w.key("f_sync_hz").value(s.f_sync_reference_hz);
+      w.key("first_swing_rad").value(s.reference_first_swing_rad);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_metrics_json(const std::string& path, const SweepResult& result,
+                        bool include_timing) {
+  io::write_text_file(path, metrics_json(result, include_timing));
+}
+
+}  // namespace citl::sweep

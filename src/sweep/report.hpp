@@ -1,0 +1,35 @@
+// Sweep result export: CSV (one row per scenario) and JSON (nested, with
+// scenario names and sweep-level statistics), both via src/io.
+//
+// The deterministic metric fields are emitted with round-trip precision, so
+// "two sweeps agree" can be tested as string equality of their reports; the
+// measured timing columns are opt-in for exactly that reason.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "sweep/sweep.hpp"
+
+namespace citl::sweep {
+
+/// Columns of the per-scenario metrics table. `include_timing` appends the
+/// measured wall-clock columns (non-deterministic by nature).
+[[nodiscard]] std::vector<io::Column> metrics_columns(
+    const SweepResult& result, bool include_timing = false);
+
+/// CSV rendering of the metrics table.
+[[nodiscard]] std::string metrics_csv(const SweepResult& result,
+                                      bool include_timing = false);
+void write_metrics_csv(const std::string& path, const SweepResult& result,
+                       bool include_timing = false);
+
+/// JSON rendering: scenario names, seeds, metrics, reference metrics and the
+/// sweep-level cache/threading statistics.
+[[nodiscard]] std::string metrics_json(const SweepResult& result,
+                                       bool include_timing = false);
+void write_metrics_json(const std::string& path, const SweepResult& result,
+                        bool include_timing = false);
+
+}  // namespace citl::sweep

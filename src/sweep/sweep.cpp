@@ -1,0 +1,175 @@
+#include "sweep/sweep.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <set>
+
+#include "core/units.hpp"
+#include "ctrl/controller.hpp"
+#include "hil/experiment.hpp"
+#include "phys/ensemble.hpp"
+#include "phys/relativity.hpp"
+#include "phys/synchrotron.hpp"
+
+namespace citl::sweep {
+
+namespace {
+
+/// Ground-truth run: the same stimulus and controller as the HIL framework,
+/// applied to a serial many-particle ensemble (cf. run_mde_reference, but
+/// driven from the scenario's FrameworkConfig and the scenario seed).
+void run_ensemble_reference(const Scenario& scenario, std::uint64_t seed,
+                            ScenarioResult& out) {
+  const auto& fc = scenario.framework;
+  const double gamma0 = phys::gamma_from_revolution_frequency(
+      fc.f_ref_hz, fc.kernel.ring.circumference_m);
+  const double t_rev = 1.0 / fc.f_ref_hz;
+  const double omega_gap =
+      kTwoPi * fc.f_ref_hz * static_cast<double>(fc.kernel.ring.harmonic);
+
+  phys::EnsembleConfig ec;
+  ec.ion = fc.kernel.ion;
+  ec.ring = fc.kernel.ring;
+  ec.initial_gamma_r = gamma0;
+  ec.n_particles = scenario.ensemble_particles;
+  ec.seed = seed;
+  phys::EnsembleTracker ensemble(ec);  // serial: deterministic per scenario
+  const double matched_ratio = phys::matched_dt_per_dgamma_s(
+      ec.ion, ec.ring, gamma0, fc.gap_voltage_v);
+  ensemble.populate_gaussian(scenario.ensemble_sigma_dt_s / matched_ratio,
+                             scenario.ensemble_sigma_dt_s);
+
+  ctrl::BeamPhaseController controller(fc.controller);
+  ctrl::PhaseDecimator decimator(static_cast<std::size_t>(
+      std::lround(fc.f_ref_hz / fc.controller.sample_rate_hz)));
+
+  const auto turns =
+      static_cast<std::int64_t>(scenario.duration_s * fc.f_ref_hz);
+  constexpr std::int64_t kRecordEvery = 8;
+  std::vector<double> ts, phases;
+  ts.reserve(static_cast<std::size_t>(turns / kRecordEvery) + 1);
+  phases.reserve(ts.capacity());
+
+  double t = 0.0, ctrl_phase = 0.0, correction_hz = 0.0;
+  for (std::int64_t n = 0; n < turns; ++n) {
+    const double jump = fc.jumps ? fc.jumps->phase_rad(t) : 0.0;
+    const double gap_phase = jump + ctrl_phase;
+    ensemble.step(phys::SineWaveform{fc.gap_voltage_v, omega_gap, gap_phase});
+    const double phase = wrap_angle(ensemble.centroid_dt_s() * omega_gap);
+    if (decimator.feed(wrap_angle(phase + gap_phase))) {
+      correction_hz = fc.control_enabled
+                          ? controller.update(decimator.output())
+                          : 0.0;
+    }
+    if (fc.control_enabled) ctrl_phase += kTwoPi * correction_hz * t_rev;
+    t += t_rev;
+    if (n % kRecordEvery == 0) {
+      ts.push_back(t);
+      phases.push_back(phase);
+    }
+  }
+
+  const double jump_s = fc.jumps ? fc.jumps->start_s() : 0.0;
+  const double t_sync = 1.0 / scenario.f_sync_nominal_hz;
+  out.f_sync_reference_hz = hil::estimate_oscillation_frequency_hz(
+      ts, phases, jump_s + 0.2e-3,
+      std::min(scenario.duration_s, jump_s + 6.0 * t_sync));
+  out.reference_first_swing_rad =
+      hil::peak_to_peak(ts, phases, jump_s, jump_s + 1.2 * t_sync);
+}
+
+ScenarioResult run_scenario(const Scenario& scenario, std::size_t index,
+                            std::uint64_t seed, KernelCache& cache,
+                            bool collect_traces) {
+  ScenarioResult out;
+  out.name = scenario.name;
+  out.index = index;
+  out.seed = seed;
+
+  hil::FrameworkConfig fc = scenario.framework;
+  fc.noise_seed = seed;
+  auto kernel = cache.get(hil::Framework::effective_kernel_config(fc),
+                          fc.arch);
+
+  const auto wall_begin = std::chrono::steady_clock::now();
+  hil::Framework fw(fc, std::move(kernel));
+  fw.run_seconds(scenario.duration_s);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  MetricWindows windows;
+  windows.jump_s = fc.jumps ? fc.jumps->start_s() : 0.0;
+  windows.end_s = scenario.duration_s;
+  windows.f_sync_nominal_hz = scenario.f_sync_nominal_hz;
+  out.metrics = extract_phase_metrics(fw.phase_trace().times(),
+                                      fw.phase_trace().values(), windows);
+  out.metrics.realtime_violations = fw.realtime_violations();
+  out.metrics.cgra_runs = fw.cgra_runs();
+  out.metrics.sim_time_s = scenario.duration_s;
+  out.metrics.wall_time_s =
+      std::chrono::duration<double>(wall_end - wall_begin).count();
+  out.metrics.wall_over_sim =
+      scenario.duration_s > 0.0
+          ? out.metrics.wall_time_s / scenario.duration_s
+          : 0.0;
+
+  if (collect_traces) {
+    out.trace_time_s = fw.phase_trace().times();
+    out.trace_phase_rad = fw.phase_trace().values();
+  }
+  if (scenario.ensemble_reference) {
+    run_ensemble_reference(scenario, seed, out);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t scenario_seed(std::uint64_t master, std::size_t index) noexcept {
+  // splitmix64 over (master, index): well-spread, stable, order-free.
+  std::uint64_t z = master +
+                    0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool) {
+  const auto wall_begin = std::chrono::steady_clock::now();
+
+  KernelCache local_cache;
+  KernelCache& cache = config.cache != nullptr ? *config.cache : local_cache;
+  const std::size_t compilations_before = cache.compilations();
+
+  SweepResult result;
+  result.scenarios.resize(config.scenarios.size());
+
+  std::set<std::string> distinct;
+  for (const auto& scenario : config.scenarios) {
+    distinct.insert(kernel_cache_key(
+        hil::Framework::effective_kernel_config(scenario.framework),
+        scenario.framework.arch));
+  }
+  result.distinct_kernels = distinct.size();
+
+  ThreadPool local_pool(pool != nullptr ? 1 : config.threads);
+  ThreadPool& runner = pool != nullptr ? *pool : local_pool;
+  result.threads_used = runner.size();
+
+  // One scenario per index; slot `i` is written only by the task running
+  // scenario i, and every input of that task is derived from (config, i) —
+  // this is what makes the sweep schedule-independent.
+  runner.parallel_for(0, config.scenarios.size(), [&](std::size_t i) {
+    result.scenarios[i] =
+        run_scenario(config.scenarios[i], i, scenario_seed(config.seed, i),
+                     cache, config.collect_traces);
+  });
+
+  result.kernel_compilations = cache.compilations() - compilations_before;
+  result.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
+  return result;
+}
+
+}  // namespace citl::sweep

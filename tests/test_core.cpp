@@ -168,6 +168,70 @@ TEST(ThreadPool, ExceptionPropagates) {
   EXPECT_EQ(n.load(), 10);
 }
 
+TEST(ThreadPool, ExceptionRethrownExactlyOnceAndPoolReusable) {
+  ThreadPool pool(4);
+  // Many chunks throw, yet the caller must observe exactly one exception —
+  // not one per worker, and none may leak to std::terminate.
+  int caught = 0;
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(0, 400, [&](std::size_t i) {
+        if (i % 7 == 0) throw std::runtime_error("chunk failure");
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+    // Immediately reusable after the failed job.
+    std::atomic<int> n{0};
+    pool.parallel_for(0, 64, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 64);
+  }
+  EXPECT_EQ(caught, 20);
+}
+
+TEST(ThreadPool, CallerChunkThrowAlsoRethrownOnce) {
+  ThreadPool pool(3);
+  // Chunk 0 runs on the calling thread; its exception takes the same
+  // first_error_ path as worker exceptions and must not bypass the join.
+  int caught = 0;
+  try {
+    pool.parallel_for(0, 90, [&](std::size_t i) {
+      if (i == 0) throw std::logic_error("caller chunk");
+    });
+  } catch (const std::logic_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 90, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 90);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerialisedWithoutHang) {
+  // Before submissions were serialised, two threads submitting at once would
+  // overwrite job_/pending_ and one caller could wait on cv_done_ forever.
+  ThreadPool pool(2);
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 25;
+  std::vector<long> sums(kSubmitters, 0);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<long> sum{0};
+        pool.parallel_for(0, 200, [&](std::size_t i) {
+          sum.fetch_add(static_cast<long>(i));
+        });
+        sums[static_cast<std::size_t>(s)] += sum.load();
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (long s : sums) EXPECT_EQ(s, kRounds * 19'900L);
+}
+
 TEST(ThreadPool, ReusableAcrossManyCalls) {
   ThreadPool pool(4);
   for (int round = 0; round < 50; ++round) {
