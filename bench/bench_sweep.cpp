@@ -9,13 +9,20 @@
 // and reports the parallel speedup. On a single-core container the speedup
 // degenerates to ~1x — the table prints the measured value either way; the
 // >=4x expectation only applies on >=8 hardware threads.
+//
+// The S1 summary is also written to `BENCH_sweep.json` so the sweep-engine
+// perf trajectory is machine readable. Override with `--out <path>`;
+// `--out -` disables the file.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "core/units.hpp"
 #include "hil/framework.hpp"
+#include "io/json.hpp"
 #include "io/table.hpp"
 #include "phys/relativity.hpp"
 #include "phys/synchrotron.hpp"
@@ -64,7 +71,37 @@ sweep::SweepConfig acceptance_sweep() {
   return config;
 }
 
-void print_report() {
+void write_sweep_json(const std::string& path, const sweep::SweepResult& serial,
+                      const sweep::SweepResult& par8, double speedup,
+                      bool identical) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("benchmark").value(std::string_view("bench_sweep"));
+  w.key("scenario_count").value(static_cast<std::uint64_t>(64));
+  w.key("hardware_concurrency")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.key("serial").begin_object();
+  w.key("wall_time_s").value(serial.wall_time_s);
+  w.key("distinct_kernels")
+      .value(static_cast<std::uint64_t>(serial.distinct_kernels));
+  w.key("kernel_compilations")
+      .value(static_cast<std::uint64_t>(serial.kernel_compilations));
+  w.end_object();
+  w.key("par8").begin_object();
+  w.key("wall_time_s").value(par8.wall_time_s);
+  w.key("distinct_kernels")
+      .value(static_cast<std::uint64_t>(par8.distinct_kernels));
+  w.key("kernel_compilations")
+      .value(static_cast<std::uint64_t>(par8.kernel_compilations));
+  w.end_object();
+  w.key("speedup").value(speedup);
+  w.key("reports_identical").value(identical);
+  w.end_object();
+  io::write_text_file(path, w.str() + "\n");
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void print_report(const std::string& json_path) {
   sweep::SweepConfig config = acceptance_sweep();
   std::printf("S1 — 64-scenario sweep (4 distinct kernels), "
               "hardware_concurrency = %u\n\n",
@@ -101,6 +138,9 @@ void print_report() {
   if (serial.kernel_compilations != serial.distinct_kernels ||
       par8.kernel_compilations != par8.distinct_kernels) {
     std::printf("ERROR: kernel cache recompiled a kernel!\n");
+  }
+  if (!json_path.empty()) {
+    write_sweep_json(json_path, serial, par8, speedup, identical);
   }
 }
 
@@ -161,7 +201,17 @@ BENCHMARK(BM_SweepScenarioMillisecond)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  std::string json_path = "BENCH_sweep.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      json_path = argv[i + 1];
+      if (json_path == "-") json_path.clear();
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  print_report(json_path);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,9 +3,17 @@
 // This quantifies the fidelity/speed trade-off between the turn-level loop,
 // the functional CGRA machine, the cycle-accurate machine, and the full
 // sample-accurate framework.
+//
+// In addition to the console table, the run writes `BENCH_throughput.json`
+// (google-benchmark's JSON schema) so the perf trajectory is machine
+// readable and can accumulate across revisions. Override the path with
+// `--out <path>`; `--out -` disables the file.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "cgra/kernels.hpp"
 #include "cgra/machine.hpp"
@@ -92,4 +100,38 @@ BENCHMARK(BM_FrameworkSampleRate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_throughput.json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  bool explicit_benchmark_out = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      explicit_benchmark_out = true;
+    }
+    args.push_back(argv[i]);
+  }
+  // Route the JSON file through benchmark's own --benchmark_out machinery;
+  // the flag pair is injected so plain `bench_throughput` writes the file.
+  std::string out_flag = "--benchmark_out=" + out_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (out_path != "-" && !explicit_benchmark_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&args_count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  if (out_path != "-" && !explicit_benchmark_out) {
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,8 @@
 // Operator console session — the SpartanMC serial interface experience
 // (§III-B): bring up the simulator, inspect it, change parameters at run
-// time, and watch the effects, all through text commands.
+// time, and watch the effects, all through text commands. The `metrics` and
+// `deadline` commands play the role of the soft-core's monitoring registers:
+// a live view of the instrumentation counters and the real-time headroom.
 //
 // With no arguments a scripted session runs; pass `-i` for an interactive
 // prompt (reads commands from stdin).
@@ -10,6 +12,7 @@
 #include <string>
 
 #include "hil/console.hpp"
+#include "obs/metrics.hpp"
 #include "phys/relativity.hpp"
 #include "phys/synchrotron.hpp"
 
@@ -25,6 +28,8 @@ int main(int argc, char** argv) {
       phys::gamma_from_revolution_frequency(800.0e3, ring.circumference_m),
       1280.0);
   fc.jumps = ctrl::PhaseJumpProgramme::paper();
+  // The console is the monitoring surface: give it live counters.
+  obs::Registry::global().set_enabled(true);
   hil::Framework fw(fc);
   hil::Console console(fw);
 
@@ -57,6 +62,8 @@ int main(int argc, char** argv) {
       "control on",        // ...and close it again
       "run 0.02",
       "status",
+      "deadline",          // real-time headroom of the CGRA schedule
+      "metrics",           // live instrumentation counters
   };
   for (const char* cmd : script) {
     std::printf("> %s\n%s\n\n", cmd, console.execute(cmd).c_str());

@@ -6,14 +6,26 @@
 //
 // Usage: parameter_sweep [duration_ms] [threads]
 //                        [--csv out.csv] [--json out.json] [--reference]
+//                        [--quick] [--trace out.json] [--metrics out.json]
+//
+// `--quick` shrinks the grid to 2x2 (4 scenarios) for CI smoke runs.
+// `--trace` enables the event tracer and writes a Chrome trace-event file
+// (open in Perfetto or chrome://tracing). `--metrics` enables the metrics
+// registry and writes its JSON snapshot after the sweep. Neither flag
+// changes the sweep results: the CSV/JSON metric reports stay byte-identical
+// with observability on or off (pinned by ObsSweep tests).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/units.hpp"
 #include "hil/framework.hpp"
+#include "io/json.hpp"
 #include "io/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phys/relativity.hpp"
 #include "phys/synchrotron.hpp"
 #include "sweep/report.hpp"
@@ -24,16 +36,23 @@ int main(int argc, char** argv) {
 
   double duration_ms = 8.0;
   unsigned threads = 0;  // hardware_concurrency
-  std::string csv_path, json_path;
+  std::string csv_path, json_path, trace_path, metrics_path;
   bool with_reference = false;
+  bool quick = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--reference") == 0) {
       with_reference = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
     } else if (positional == 0) {
       duration_ms = std::atof(argv[i]);
       ++positional;
@@ -51,9 +70,18 @@ int main(int argc, char** argv) {
   base.gap_voltage_v = phys::amplitude_for_synchrotron_frequency(
       phys::ion_n14_7plus(), ring, gamma, 1280.0);
 
-  // The grid: the paper's point (8 deg, -5) sits at the centre.
-  const double jumps_deg[] = {4.0, 6.0, 8.0, 10.0, 12.0};
-  const double gains[] = {-1.0, -3.0, -5.0, -7.0, -9.0};
+  if (!trace_path.empty()) obs::Tracer::global().set_enabled(true);
+  if (!metrics_path.empty()) obs::Registry::global().set_enabled(true);
+
+  // The grid: the paper's point (8 deg, -5) sits at the centre. `--quick`
+  // keeps a 2x2 corner of it — enough to exercise the sweep engine, the
+  // kernel cache and the instrumentation in a CI smoke run.
+  const std::vector<double> jumps_deg =
+      quick ? std::vector<double>{6.0, 8.0}
+            : std::vector<double>{4.0, 6.0, 8.0, 10.0, 12.0};
+  const std::vector<double> gains =
+      quick ? std::vector<double>{-3.0, -5.0}
+            : std::vector<double>{-1.0, -3.0, -5.0, -7.0, -9.0};
 
   sweep::SweepConfig config;
   config.threads = threads;
@@ -102,6 +130,16 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     sweep::write_metrics_json(json_path, r);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::global().write_json(trace_path);
+    std::printf("wrote %s (%zu trace events — open in Perfetto or "
+                "chrome://tracing)\n",
+                trace_path.c_str(), obs::Tracer::global().event_count());
+  }
+  if (!metrics_path.empty()) {
+    io::write_text_file(metrics_path, obs::Registry::global().json() + "\n");
+    std::printf("wrote %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace citl::cgra {
 
@@ -383,6 +384,14 @@ void CgraMachine::commit_iteration() {
     state_vals_[i] = values_[static_cast<std::size_t>(states[i].update)];
   }
   ++iterations_;
+  // Per-iteration occupancy accounting: one context switch through the whole
+  // schedule, `length` CGRA clock ticks consumed.
+  static obs::Counter& iterations =
+      obs::Registry::global().counter("cgra.iterations");
+  static obs::Counter& cycles =
+      obs::Registry::global().counter("cgra.schedule_cycles");
+  iterations.add();
+  cycles.add(kernel_->schedule.length);
 }
 
 }  // namespace citl::cgra

@@ -6,6 +6,8 @@
 
 #include "cgra/lower.hpp"
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace citl::cgra {
 
@@ -281,17 +283,35 @@ class ListScheduler {
 }  // namespace
 
 Schedule schedule_dfg(const Dfg& dfg, const CgraArch& arch) {
-  ListScheduler s(dfg, arch);
-  Schedule sched = s.run();
-  verify_schedule(dfg, arch, sched);
+  Schedule sched;
+  {
+    CITL_TRACE_SPAN("cgra.compile.list_schedule");
+    ListScheduler s(dfg, arch);
+    sched = s.run();
+  }
+  {
+    CITL_TRACE_SPAN("cgra.compile.verify");
+    verify_schedule(dfg, arch, sched);
+  }
   return sched;
 }
 
 CompiledKernel compile_kernel(std::string_view source, const CgraArch& arch) {
+  // Pass-level spans make the compiler's cost visible in a trace; the
+  // histogram records what came out (the real-time budget driver, §IV-B).
+  CITL_TRACE_SPAN("cgra.compile");
   CompiledKernel k;
-  k.dfg = compile_to_dfg(source);
+  {
+    CITL_TRACE_SPAN("cgra.compile.frontend");
+    k.dfg = compile_to_dfg(source);
+  }
   k.arch = arch;
   k.schedule = schedule_dfg(k.dfg, arch);
+  obs::Registry::global().counter("cgra.compilations").add();
+  obs::Registry::global()
+      .histogram("cgra.schedule_length_cycles",
+                 {16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0})
+      .observe(static_cast<double>(k.schedule.length));
   return k;
 }
 

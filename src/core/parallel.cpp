@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+
 namespace citl {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -58,6 +60,8 @@ void ThreadPool::run_chunk(const Job& job, std::size_t chunk_index) {
   const std::size_t lo = std::min(job.begin + chunk_index * per, job.end);
   const std::size_t hi = std::min(lo + per, job.end);
   if (lo >= hi) return;
+  static obs::Counter& chunks = obs::Registry::global().counter("pool.chunks");
+  chunks.add();
   try {
     (*job.body)(lo, hi);
   } catch (...) {
@@ -76,6 +80,11 @@ void ThreadPool::parallel_for_chunks(
     body(begin, end);
     return;
   }
+  // Fork/join submission accounting: jobs = parallel_for calls that actually
+  // forked, chunks = per-thread slices executed (see run_chunk).
+  static obs::Counter& jobs = obs::Registry::global().counter("pool.jobs");
+  jobs.add();
+
   std::lock_guard submit_lock(submit_mutex_);
   {
     std::lock_guard lock(mutex_);

@@ -6,6 +6,7 @@
 
 #include "cgra/schedule.hpp"
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace citl::hil {
 
@@ -26,7 +27,7 @@ bool parse_double(const std::string& s, double* out) {
 
 constexpr const char* kHelp =
     "commands:\n"
-    "  status | schedule | help\n"
+    "  status | schedule | deadline | metrics [on|off] | help\n"
     "  get <register> | set <register> <value>\n"
     "  param <name> [value] | state <name> [value]\n"
     "  monitor phase|beam | record on|off|clear | control on|off\n"
@@ -51,7 +52,10 @@ std::string Console::execute(const std::string& line) {
          << "realtime violations: " << fw_.realtime_violations() << '\n'
          << "last phase: " << std::setprecision(4)
          << rad_to_deg(fw_.last_phase_rad()) << " deg\n"
-         << "phase samples recorded: " << fw_.phase_trace().size();
+         << "phase samples recorded: " << fw_.phase_trace().size()
+         << " (dropped " << fw_.phase_trace().dropped() << ")\n"
+         << "beam samples recorded: " << fw_.beam_trace().size()
+         << " (dropped " << fw_.beam_trace().dropped() << ")";
       return ok(os.str());
     }
 
@@ -73,6 +77,49 @@ std::string Console::execute(const std::string& line) {
                 1e6
          << " MHz";
       return ok(os.str());
+    }
+
+    if (cmd == "deadline") {
+      const auto st = fw_.deadline().stats();
+      std::ostringstream os;
+      os << "revolutions: " << st.revolutions << '\n'
+         << "misses: " << st.misses << '\n'
+         << std::setprecision(4)
+         << "headroom min/mean/max: " << 100.0 * st.headroom_min << "% / "
+         << 100.0 * st.headroom_mean << "% / " << 100.0 * st.headroom_max
+         << "%\n"
+         << "headroom p50/p90/p99: " << 100.0 * st.headroom_p50 << "% / "
+         << 100.0 * st.headroom_p90 << "% / " << 100.0 * st.headroom_p99
+         << "%\n"
+         << "worst overrun: " << st.worst_overrun_cycles << " cycles";
+      for (const auto& miss : fw_.deadline().worst_misses()) {
+        os << "\n  miss @ rev " << miss.revolution << " t="
+           << std::setprecision(6) << miss.time_s * 1e3 << " ms: "
+           << std::setprecision(4) << miss.exec_cycles << " cycles vs "
+           << miss.budget_cycles << " budget";
+      }
+      return ok(os.str());
+    }
+
+    if (cmd == "metrics" && toks.size() <= 2) {
+      obs::Registry& reg = obs::Registry::global();
+      if (toks.size() == 2) {
+        if (toks[1] == "on") {
+          reg.set_enabled(true);
+          return ok("metrics enabled");
+        }
+        if (toks[1] == "off") {
+          reg.set_enabled(false);
+          return ok("metrics disabled");
+        }
+        return error("metrics expects on|off");
+      }
+      if (!reg.enabled()) {
+        return ok("metrics disabled (enable with 'metrics on')");
+      }
+      std::string snapshot = reg.csv();
+      if (!snapshot.empty() && snapshot.back() == '\n') snapshot.pop_back();
+      return ok(snapshot);
     }
 
     if (cmd == "get" && toks.size() == 2) {

@@ -6,6 +6,8 @@
 
 #include "core/error.hpp"
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phys/relativity.hpp"
 
 namespace citl::hil {
@@ -141,6 +143,12 @@ Framework::Framework(const FrameworkConfig& config,
   machine_ = std::make_unique<cgra::CgraMachine>(*kernel_, *bus_);
   control_on_ = config.control_enabled;
   last_phase_ = std::numeric_limits<double>::quiet_NaN();
+
+  obs::Registry& reg = obs::Registry::global();
+  obs_revolutions_ = &reg.counter("hil.revolutions");
+  obs_phase_samples_ = &reg.counter("hil.phase_samples");
+  obs_corrections_ = &reg.counter("hil.controller_corrections");
+  obs_deadline_misses_ = &reg.counter("hil.deadline_misses");
 }
 
 Framework::~Framework() = default;
@@ -153,18 +161,24 @@ void Framework::set_pulse_shape(double sigma_s, double amplitude_v) {
 }
 
 void Framework::run_cgra() {
+  CITL_TRACE_SPAN("hil.cgra_revolution");
+  unsigned exec_cycles = kernel_->schedule.length;
   if (config_.cycle_accurate_cgra) {
-    machine_->run_iteration_cycle_accurate();
+    exec_cycles = machine_->run_iteration_cycle_accurate();
   } else {
     machine_->run_iteration();
   }
   ++cgra_runs_;
+  obs_revolutions_->add();
   // Hard real-time check (§IV-B): the schedule must complete within one
-  // reference period at the CGRA clock.
-  const double exec_s = static_cast<double>(kernel_->schedule.length) /
-                        kernel_->arch.clock_hz;
-  if (exec_s > period_det_.period_seconds(kSampleClock)) {
+  // reference period at the CGRA clock. The boolean violation counter and
+  // the profiler share one comparison so they can never disagree.
+  const double budget_cycles =
+      period_det_.period_seconds(kSampleClock) * kernel_->arch.clock_hz;
+  deadline_.record(static_cast<double>(exec_cycles), budget_cycles, time_s());
+  if (static_cast<double>(exec_cycles) > budget_cycles) {
     ++realtime_violations_;
+    obs_deadline_misses_->add();
   }
 }
 
@@ -190,6 +204,7 @@ void Framework::on_reference_crossing() {
 
 void Framework::handle_phase_sample(const ctrl::PhaseSample& sample) {
   last_phase_ = sample.phase_rad;
+  obs_phase_samples_->add();
   if (params_.get("record_enable") != 0.0) {
     phase_trace_.push(sample.time_s, sample.phase_rad);
   }
@@ -200,6 +215,7 @@ void Framework::handle_phase_sample(const ctrl::PhaseSample& sample) {
   if (decimator_.feed(bucket_phase)) {
     correction_hz_ =
         control_on_ ? controller_.update(decimator_.output()) : 0.0;
+    obs_corrections_->add();
     correction_trace_.push(time_s(), correction_hz_);
   }
 }

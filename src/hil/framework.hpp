@@ -31,11 +31,16 @@
 #include "ctrl/phasedetector.hpp"
 #include "hil/parambus.hpp"
 #include "hil/recorder.hpp"
+#include "obs/deadline.hpp"
 #include "sig/converters.hpp"
 #include "sig/dds.hpp"
 #include "sig/gauss.hpp"
 #include "sig/ringbuffer.hpp"
 #include "sig/zerocross.hpp"
+
+namespace citl::obs {
+class Counter;
+}  // namespace citl::obs
 
 namespace citl::hil {
 
@@ -117,6 +122,12 @@ class Framework {
   [[nodiscard]] std::int64_t realtime_violations() const noexcept {
     return realtime_violations_;
   }
+  /// Per-revolution deadline accounting: schedule cycles vs period budget,
+  /// headroom distribution and the worst misses (§IV-B made measurable).
+  /// Purely simulation-derived, hence deterministic.
+  [[nodiscard]] const obs::DeadlineProfiler& deadline() const noexcept {
+    return deadline_;
+  }
 
   [[nodiscard]] const cgra::CompiledKernel& kernel() const noexcept {
     return *kernel_;
@@ -188,6 +199,14 @@ class Framework {
   double last_phase_ = 0.0;
   std::int64_t cgra_runs_ = 0;
   std::int64_t realtime_violations_ = 0;
+  obs::DeadlineProfiler deadline_;
+
+  // Global-registry handles, resolved once at construction (no-ops while
+  // the registry is disabled — the default).
+  obs::Counter* obs_revolutions_ = nullptr;
+  obs::Counter* obs_phase_samples_ = nullptr;
+  obs::Counter* obs_corrections_ = nullptr;
+  obs::Counter* obs_deadline_misses_ = nullptr;
 
   Trace phase_trace_;
   Trace correction_trace_;

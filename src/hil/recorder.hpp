@@ -21,8 +21,14 @@ class Trace {
         max_samples_(max_samples) {}
 
   void push(double time_s, double value) {
-    if (counter_++ % decimation_ != 0) return;
-    if (max_samples_ != 0 && times_.size() >= max_samples_) return;
+    if (counter_++ % decimation_ != 0) {
+      ++decimated_;
+      return;
+    }
+    if (max_samples_ != 0 && times_.size() >= max_samples_) {
+      ++dropped_;  // capacity truncation must be visible, not silent
+      return;
+    }
     times_.push_back(time_s);
     values_.push_back(value);
   }
@@ -38,11 +44,20 @@ class Trace {
   [[nodiscard]] bool full() const noexcept {
     return max_samples_ != 0 && times_.size() >= max_samples_;
   }
+  /// Total samples offered to the recorder (kept + decimated + dropped).
+  [[nodiscard]] std::size_t seen() const noexcept { return counter_; }
+  /// Samples lost because max_samples_ was reached — data the DRAM recorder
+  /// silently discarded before this counter existed.
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  /// Samples skipped by decimation (intentional, but worth surfacing).
+  [[nodiscard]] std::size_t decimated() const noexcept { return decimated_; }
 
   void clear() {
     times_.clear();
     values_.clear();
     counter_ = 0;
+    dropped_ = 0;
+    decimated_ = 0;
   }
 
  private:
@@ -50,6 +65,8 @@ class Trace {
   std::size_t decimation_ = 1;
   std::size_t max_samples_ = 0;  ///< 0 = unbounded
   std::size_t counter_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t decimated_ = 0;
   std::vector<double> times_;
   std::vector<double> values_;
 };

@@ -1,0 +1,182 @@
+// Metrics registry — the software analogue of the monitoring registers the
+// SpartanMC soft-core exposes over its serial interface (§III-B), grown into
+// a process-wide instrumentation surface.
+//
+// Three instrument kinds, all lock-free on the hot path:
+//   * Counter   — monotonically increasing uint64 (events, cache hits),
+//   * Gauge     — last-written double (queue depth, occupancy),
+//   * Histogram — fixed upper-bound buckets over doubles (latencies, sizes).
+//
+// Design contract (the sweep determinism tests pin it):
+//   * instruments NEVER feed back into simulation results — reading or
+//     writing a metric cannot perturb any deterministic output,
+//   * a disabled registry reduces every record call to one relaxed atomic
+//     load and a branch (~zero overhead; the global registry starts
+//     disabled),
+//   * handles returned by the registry are stable for the registry's
+//     lifetime, so hot paths resolve the name once and keep the pointer.
+//
+// Naming convention (docs/OBSERVABILITY.md): dotted lower_snake paths,
+// `<subsystem>.<noun>[_<unit>]`, e.g. "hil.revolutions",
+// "sweep.kernel_cache.hits", "cgra.schedule_length_cycles".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace citl::obs {
+
+class Registry;
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  Counter(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value instrument (levels, depths, ratios).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  Gauge(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v < bounds[i] that
+/// were not already counted by a lower bucket, i.e. bucket 0 holds
+/// v < bounds[0], bucket i holds bounds[i-1] <= v < bounds[i], and one
+/// overflow bucket holds v >= bounds.back(). Boundaries are half-open on the
+/// upper side, so a value exactly on a bound lands in the bucket above it
+/// (tested in test_obs.cpp).
+class Histogram {
+ public:
+  void observe(double v) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    std::size_t i = 0;
+    while (i < bounds_.size() && v >= bounds_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Count in bucket i; i == bounds().size() is the overflow bucket.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::vector<double> bounds,
+            const std::atomic<bool>* enabled)
+      : name_(std::move(name)),
+        bounds_(std::move(bounds)),
+        enabled_(enabled),
+        counts_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            bounds_.size() + 1)) {}
+  std::string name_;
+  std::vector<double> bounds_;  ///< strictly increasing upper bounds
+  const std::atomic<bool>* enabled_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe instrument registry. Lookups by name take a mutex (do them
+/// once, outside the hot loop); the handles they return are lock-free.
+class Registry {
+ public:
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Repeated calls with the same name return the same instrument.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// `bounds` must be strictly increasing and non-empty; it is only
+  /// consulted on first registration of `name`.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds);
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every registered instrument (registrations are kept).
+  void reset();
+
+  /// Snapshot as JSON: {"counters":{...},"gauges":{...},"histograms":{...}},
+  /// names sorted, doubles at round-trip precision.
+  [[nodiscard]] std::string json() const;
+  /// Snapshot as CSV: metric,kind,value rows (histograms flattened into one
+  /// row per bucket plus count and sum).
+  [[nodiscard]] std::string csv() const;
+
+  /// Process-wide registry used by the built-in instrumentation. Starts
+  /// DISABLED: enabling observability is an explicit operator action.
+  static Registry& global();
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace citl::obs

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace citl::sweep {
 
 namespace {
@@ -83,9 +86,21 @@ std::shared_ptr<const cgra::CompiledKernel> KernelCache::get(
     entry = it->second;
   }
 
-  if (!owner) return entry.get();  // waits for the in-flight compilation
+  // Hit/miss from the sweep's point of view: only the first requester of a
+  // key pays the compilation; everyone else (including waiters on the
+  // in-flight compile) shares the cached result.
+  static obs::Counter& hits =
+      obs::Registry::global().counter("sweep.kernel_cache.hits");
+  static obs::Counter& misses =
+      obs::Registry::global().counter("sweep.kernel_cache.misses");
+  if (!owner) {
+    hits.add();
+    return entry.get();  // waits for the in-flight compilation
+  }
+  misses.add();
 
   try {
+    CITL_TRACE_SPAN("sweep.kernel_compile");
     auto kernel = std::make_shared<const cgra::CompiledKernel>(
         cgra::compile_kernel(cgra::beam_kernel_source(config), arch));
     compilations_.fetch_add(1, std::memory_order_relaxed);

@@ -31,6 +31,16 @@ struct ScenarioMetrics {
   std::int64_t realtime_violations = 0;
   std::int64_t cgra_runs = 0;
   double sim_time_s = 0.0;
+  // -- real-time deadline accounting (obs::DeadlineProfiler, §IV-B) --
+  // All simulation-derived and deterministic: schedule length in CGRA
+  // cycles, and the headroom fraction (1 - schedule/budget) distribution
+  // across revolutions. headroom_p99 is the headroom exceeded by 99% of
+  // revolutions; worst_overrun_cycles is max(schedule - budget) over misses.
+  std::int64_t schedule_cycles = 0;
+  double deadline_headroom_min = 0.0;
+  double deadline_headroom_p50 = 0.0;
+  double deadline_headroom_p99 = 0.0;
+  double worst_overrun_cycles = 0.0;
   // -- timing (measured, deliberately excluded from determinism checks) --
   double wall_time_s = 0.0;
   double wall_over_sim = 0.0;       ///< < 1 means faster than real time

@@ -22,6 +22,11 @@ std::vector<io::Column> metrics_columns(const SweepResult& result,
   io::Column violations = column("realtime_violations");
   io::Column runs = column("cgra_runs");
   io::Column sim_time = column("sim_time_s");
+  io::Column sched_cycles = column("schedule_cycles");
+  io::Column hr_min = column("deadline_headroom_min");
+  io::Column hr_p50 = column("deadline_headroom_p50");
+  io::Column hr_p99 = column("deadline_headroom_p99");
+  io::Column overrun = column("worst_overrun_cycles");
   io::Column f_ref = column("f_sync_reference_hz");
   io::Column wall = column("wall_time_s");
   io::Column ratio = column("wall_over_sim");
@@ -38,17 +43,24 @@ std::vector<io::Column> metrics_columns(const SweepResult& result,
         static_cast<double>(s.metrics.realtime_violations));
     runs.values.push_back(static_cast<double>(s.metrics.cgra_runs));
     sim_time.values.push_back(s.metrics.sim_time_s);
+    sched_cycles.values.push_back(
+        static_cast<double>(s.metrics.schedule_cycles));
+    hr_min.values.push_back(s.metrics.deadline_headroom_min);
+    hr_p50.values.push_back(s.metrics.deadline_headroom_p50);
+    hr_p99.values.push_back(s.metrics.deadline_headroom_p99);
+    overrun.values.push_back(s.metrics.worst_overrun_cycles);
     f_ref.values.push_back(s.f_sync_reference_hz);
     wall.values.push_back(s.metrics.wall_time_s);
     ratio.values.push_back(s.metrics.wall_over_sim);
   }
 
-  std::vector<io::Column> cols{std::move(index),      std::move(seed),
-                               std::move(f_sync),     std::move(tau),
-                               std::move(swing),      std::move(rms),
-                               std::move(settled),    std::move(violations),
-                               std::move(runs),       std::move(sim_time),
-                               std::move(f_ref)};
+  std::vector<io::Column> cols{
+      std::move(index),        std::move(seed),    std::move(f_sync),
+      std::move(tau),          std::move(swing),   std::move(rms),
+      std::move(settled),      std::move(violations), std::move(runs),
+      std::move(sim_time),     std::move(sched_cycles), std::move(hr_min),
+      std::move(hr_p50),       std::move(hr_p99),  std::move(overrun),
+      std::move(f_ref)};
   if (include_timing) {
     cols.push_back(std::move(wall));
     cols.push_back(std::move(ratio));
@@ -94,6 +106,13 @@ std::string metrics_json(const SweepResult& result, bool include_timing) {
     w.key("realtime_violations").value(s.metrics.realtime_violations);
     w.key("cgra_runs").value(s.metrics.cgra_runs);
     w.key("sim_time_s").value(s.metrics.sim_time_s);
+    w.key("deadline").begin_object();
+    w.key("schedule_cycles").value(s.metrics.schedule_cycles);
+    w.key("headroom_min").value(s.metrics.deadline_headroom_min);
+    w.key("headroom_p50").value(s.metrics.deadline_headroom_p50);
+    w.key("headroom_p99").value(s.metrics.deadline_headroom_p99);
+    w.key("worst_overrun_cycles").value(s.metrics.worst_overrun_cycles);
+    w.end_object();
     if (include_timing) {
       w.key("wall_time_s").value(s.metrics.wall_time_s);
       w.key("wall_over_sim").value(s.metrics.wall_over_sim);

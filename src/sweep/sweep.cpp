@@ -7,6 +7,8 @@
 #include "core/units.hpp"
 #include "ctrl/controller.hpp"
 #include "hil/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phys/ensemble.hpp"
 #include "phys/relativity.hpp"
 #include "phys/synchrotron.hpp"
@@ -93,7 +95,12 @@ ScenarioResult run_scenario(const Scenario& scenario, std::size_t index,
 
   const auto wall_begin = std::chrono::steady_clock::now();
   hil::Framework fw(fc, std::move(kernel));
-  fw.run_seconds(scenario.duration_s);
+  {
+    // One span per scenario task: the trace shows which worker ran which
+    // scenario and for how long. scenario.name outlives the span.
+    obs::ScopedSpan span(scenario.name);
+    fw.run_seconds(scenario.duration_s);
+  }
   const auto wall_end = std::chrono::steady_clock::now();
 
   MetricWindows windows;
@@ -105,6 +112,13 @@ ScenarioResult run_scenario(const Scenario& scenario, std::size_t index,
   out.metrics.realtime_violations = fw.realtime_violations();
   out.metrics.cgra_runs = fw.cgra_runs();
   out.metrics.sim_time_s = scenario.duration_s;
+  out.metrics.schedule_cycles =
+      static_cast<std::int64_t>(fw.kernel().schedule.length);
+  const obs::DeadlineStats deadline = fw.deadline().stats();
+  out.metrics.deadline_headroom_min = deadline.headroom_min;
+  out.metrics.deadline_headroom_p50 = deadline.headroom_p50;
+  out.metrics.deadline_headroom_p99 = deadline.headroom_p99;
+  out.metrics.worst_overrun_cycles = deadline.worst_overrun_cycles;
   out.metrics.wall_time_s =
       std::chrono::duration<double>(wall_end - wall_begin).count();
   out.metrics.wall_over_sim =
@@ -155,6 +169,15 @@ SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool) {
   ThreadPool& runner = pool != nullptr ? *pool : local_pool;
   result.threads_used = runner.size();
 
+  // Observability: completed-scenario counter, pending-queue gauge and a
+  // Perfetto counter track. None of it reaches the deterministic results.
+  obs::Counter& completed =
+      obs::Registry::global().counter("sweep.scenarios_completed");
+  obs::Gauge& pending_gauge =
+      obs::Registry::global().gauge("sweep.scenarios_pending");
+  pending_gauge.set(static_cast<double>(config.scenarios.size()));
+  std::atomic<std::size_t> pending{config.scenarios.size()};
+
   // One scenario per index; slot `i` is written only by the task running
   // scenario i, and every input of that task is derived from (config, i) —
   // this is what makes the sweep schedule-independent.
@@ -162,6 +185,11 @@ SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool) {
     result.scenarios[i] =
         run_scenario(config.scenarios[i], i, scenario_seed(config.seed, i),
                      cache, config.collect_traces);
+    completed.add();
+    const auto left =
+        static_cast<double>(pending.fetch_sub(1, std::memory_order_relaxed) - 1);
+    pending_gauge.set(left);
+    obs::Tracer::global().counter("sweep.scenarios_pending", left);
   });
 
   result.kernel_compilations = cache.compilations() - compilations_before;
