@@ -44,11 +44,18 @@ int main(int argc, char** argv) {
                   1e6,
               fw.kernel().arch.clock_hz / 1e6);
 
+  // Per-bunch state handles, resolved once against the compiled kernel.
+  std::vector<cgra::StateHandle> h_dt(n_bunches), h_dgamma(n_bunches);
+  for (int j = 0; j < n_bunches; ++j) {
+    h_dt[j] = cgra::state_handle(fw.kernel(), "dt" + std::to_string(j));
+    h_dgamma[j] =
+        cgra::state_handle(fw.kernel(), "dgamma" + std::to_string(j));
+  }
+
   // Let the loop settle, displace bunch states asymmetrically, run on.
   fw.run_seconds(1.0e-3);
   for (int j = 0; j < n_bunches; ++j) {
-    fw.machine().set_state("dt" + std::to_string(j),
-                           (j + 1) * 2.0e-9);  // staggered offsets
+    fw.machine().set_state(h_dt[j], (j + 1) * 2.0e-9);  // staggered offsets
   }
   fw.run_seconds(1.0e-3);
 
@@ -74,8 +81,8 @@ int main(int argc, char** argv) {
   const double omega_gap =
       kTwoPi * fc.f_ref_hz * fc.kernel.ring.harmonic;
   for (int j = 0; j < n_bunches; ++j) {
-    const double dt = fw.machine().state("dt" + std::to_string(j));
-    const double dg = fw.machine().state("dgamma" + std::to_string(j));
+    const double dt = fw.machine().state(h_dt[j]);
+    const double dg = fw.machine().state(h_dgamma[j]);
     t.add_row({std::to_string(j), io::Table::num(dt * 1e9),
                io::Table::num(dg), io::Table::num(rad_to_deg(dt * omega_gap))});
   }

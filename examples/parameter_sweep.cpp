@@ -6,9 +6,13 @@
 //
 // Usage: parameter_sweep [duration_ms] [threads]
 //                        [--csv out.csv] [--json out.json] [--reference]
-//                        [--quick] [--trace out.json] [--metrics out.json]
+//                        [--quick] [--batch N]
+//                        [--trace out.json] [--metrics out.json]
 //
 // `--quick` shrinks the grid to 2x2 (4 scenarios) for CI smoke runs.
+// `--batch N` executes the sweep through the lane-parallel batched engine
+// (N lanes per chunk); the reports are byte-identical to the per-scenario
+// path (pinned by the BatchSweep tests).
 // `--trace` enables the event tracer and writes a Chrome trace-event file
 // (open in Perfetto or chrome://tracing). `--metrics` enables the metrics
 // registry and writes its JSON snapshot after the sweep. Neither flag
@@ -28,6 +32,7 @@
 #include "obs/trace.hpp"
 #include "phys/relativity.hpp"
 #include "phys/synchrotron.hpp"
+#include "sweep/grid.hpp"
 #include "sweep/report.hpp"
 #include "sweep/sweep.hpp"
 
@@ -36,6 +41,7 @@ int main(int argc, char** argv) {
 
   double duration_ms = 8.0;
   unsigned threads = 0;  // hardware_concurrency
+  std::size_t batch_lanes = 0;
   std::string csv_path, json_path, trace_path, metrics_path;
   bool with_reference = false;
   bool quick = false;
@@ -43,6 +49,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch_lanes = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -85,29 +93,28 @@ int main(int argc, char** argv) {
 
   sweep::SweepConfig config;
   config.threads = threads;
-  for (double jump_deg : jumps_deg) {
-    for (double gain : gains) {
-      sweep::Scenario s;
-      s.name = "jump" + std::to_string(static_cast<int>(jump_deg)) + "deg_gain" +
-               std::to_string(static_cast<int>(-gain));
-      s.framework = base;
-      s.framework.controller.gain = gain;
-      s.framework.jumps =
-          ctrl::PhaseJumpProgramme(deg_to_rad(jump_deg), 1.0, 1.0e-3);
-      s.duration_s = duration_ms * 1e-3;
-      s.ensemble_reference = with_reference;
-      config.scenarios.push_back(std::move(s));
-    }
-  }
+  config.batch_lanes = batch_lanes;
+  config.scenarios = sweep::ScenarioGridBuilder::sample_accurate(base)
+                         .jump_amplitudes_deg(jumps_deg)
+                         .gains(gains)
+                         .jump_timing(1.0, 1.0e-3)
+                         .duration_s(duration_ms * 1e-3)
+                         .ensemble_reference(with_reference)
+                         .build();
 
   std::printf("sweeping %zu scenarios (%.1f ms each), jump amplitude x "
               "controller gain around the paper's 8 deg / -5 point...\n",
               config.scenarios.size(), duration_ms);
   const sweep::SweepResult r = sweep::run_sweep(config);
   std::printf("done: %u threads, %.2f s wall, %zu distinct kernel(s), "
-              "%zu compilation(s)\n\n",
+              "%zu compilation(s)%s\n\n",
               r.threads_used, r.wall_time_s, r.distinct_kernels,
-              r.kernel_compilations);
+              r.kernel_compilations,
+              r.batch_chunks > 0
+                  ? (", " + std::to_string(r.batch_chunks) +
+                     " lockstep chunk(s)")
+                        .c_str()
+                  : "");
 
   io::Table t({"scenario", "f_s meas [Hz]", "tau [ms]", "first p2p [deg]",
                "steady RMS [deg]", "rt viol"});

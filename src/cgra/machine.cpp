@@ -1,8 +1,8 @@
 #include "cgra/machine.hpp"
 
 #include <algorithm>
-#include <cmath>
 
+#include "cgra/exec.hpp"
 #include "core/error.hpp"
 #include "obs/metrics.hpp"
 
@@ -10,63 +10,55 @@ namespace citl::cgra {
 
 namespace {
 
-/// CORDIC rotation (circular mode), the algorithm the overlay's trigonometric
-/// PEs implement (§III-C). 28 iterations bring the angular resolution below
-/// binary32 epsilon; the gain constant is pre-divided out of the seed.
-template <typename F>
-void cordic_rotate(F angle, F* out_cos, F* out_sin) {
-  constexpr int kIters = 28;
-  static const double kAtan[kIters] = {
-      0.7853981633974483,    0.4636476090008061,    0.24497866312686414,
-      0.12435499454676144,   0.06241880999595735,   0.031239833430268277,
-      0.015623728620476831,  0.007812341060101111,  0.0039062301319669718,
-      0.0019531225164788188, 0.0009765621895593195, 0.0004882812111948983,
-      0.00024414062014936177, 0.00012207031189367021, 6.103515617420877e-05,
-      3.0517578115526096e-05, 1.5258789061315762e-05, 7.62939453110197e-06,
-      3.814697265606496e-06,  1.907348632810187e-06,  9.536743164059608e-07,
-      4.7683715820308884e-07, 2.3841857910155797e-07, 1.1920928955078068e-07,
-      5.960464477539055e-08,  2.9802322387695303e-08, 1.4901161193847655e-08,
-      7.450580596923828e-09};
-  constexpr double kGainInv = 0.6072529350088813;
-
-  // Reduce to (-pi, pi], then to [-pi/2, pi/2] with a sign flip.
-  double z = static_cast<double>(angle);
-  z = std::remainder(z, 2.0 * 3.14159265358979323846);
-  F flip = F(1);
-  if (z > 1.5707963267948966) {
-    z = 3.14159265358979323846 - z;
-    flip = F(-1);
-  } else if (z < -1.5707963267948966) {
-    z = -3.14159265358979323846 - z;
-    flip = F(-1);
+[[noreturn]] void throw_unknown(const CompiledKernel& kernel, const char* what,
+                                std::string_view name) {
+  std::string msg = "unknown kernel ";
+  msg += what;
+  msg += " '";
+  msg += name;
+  msg += "' in kernel '";
+  msg += kernel.name;
+  msg += "' (have:";
+  if (std::string_view(what) == "parameter") {
+    for (const auto& p : kernel.dfg.params()) msg += " " + p.name;
+  } else {
+    for (const auto& s : kernel.dfg.states()) msg += " " + s.name;
   }
-  F x = F(kGainInv);
-  F y = F(0);
-  F zr = F(z);
-  F pow2 = F(1);
-  for (int i = 0; i < kIters; ++i) {
-    const F xs = x * pow2;  // x * 2^-i computed via running scale
-    const F ys = y * pow2;
-    if (zr >= F(0)) {
-      const F xn = x - ys;
-      y = y + xs;
-      x = xn;
-      zr = zr - F(kAtan[i]);
-    } else {
-      const F xn = x + ys;
-      y = y - xs;
-      x = xn;
-      zr = zr + F(kAtan[i]);
-    }
-    pow2 = pow2 * F(0.5);
-  }
-  *out_cos = flip * x;
-  // sin is odd under the flip about ±pi/2? No: sin(pi - z) = sin(z), so the
-  // y component keeps its sign when reducing across the vertical axis.
-  *out_sin = y;
+  msg += ")";
+  throw ConfigError(msg);
 }
 
 }  // namespace
+
+ParamHandle param_handle(const CompiledKernel& kernel, std::string_view name) {
+  const ParamHandle h = find_param(kernel, name);
+  if (!h.valid()) throw_unknown(kernel, "parameter", name);
+  return h;
+}
+
+StateHandle state_handle(const CompiledKernel& kernel, std::string_view name) {
+  const StateHandle h = find_state(kernel, name);
+  if (!h.valid()) throw_unknown(kernel, "state", name);
+  return h;
+}
+
+ParamHandle find_param(const CompiledKernel& kernel,
+                       std::string_view name) noexcept {
+  const auto& params = kernel.dfg.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) return ParamHandle{static_cast<int>(i)};
+  }
+  return ParamHandle{};
+}
+
+StateHandle find_state(const CompiledKernel& kernel,
+                       std::string_view name) noexcept {
+  const auto& states = kernel.dfg.states();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].name == name) return StateHandle{static_cast<int>(i)};
+  }
+  return StateHandle{};
+}
 
 CgraMachine::CgraMachine(const CompiledKernel& kernel, SensorBus& bus,
                          Precision precision)
@@ -74,6 +66,20 @@ CgraMachine::CgraMachine(const CompiledKernel& kernel, SensorBus& bus,
   values_.assign(kernel.dfg.size(), 0.0);
   pipe_regs_.assign(kernel.dfg.size(), 0.0);
   topo_ = kernel.dfg.topo_order();
+  // Node -> param/state slot tables, so source nodes resolve their value in
+  // O(1) inside the interpreter loop instead of scanning the var tables.
+  param_slot_.assign(kernel.dfg.size(), -1);
+  state_slot_.assign(kernel.dfg.size(), -1);
+  const auto& params = kernel.dfg.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    param_slot_[static_cast<std::size_t>(params[i].node)] =
+        static_cast<int>(i);
+  }
+  const auto& states = kernel.dfg.states();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    state_slot_[static_cast<std::size_t>(states[i].node)] =
+        static_cast<int>(i);
+  }
   reset();
 }
 
@@ -88,42 +94,68 @@ void CgraMachine::reset() {
   iterations_ = 0;
 }
 
-void CgraMachine::set_param(const std::string& name, double value) {
-  const auto& params = kernel_->dfg.params();
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    if (params[i].name == name) {
-      param_vals_[i] = quantise(value);
-      return;
-    }
+void CgraMachine::check_lane(std::size_t lane) const {
+  if (lane != 0) {
+    throw ConfigError("lane " + std::to_string(lane) +
+                      " out of range in kernel '" + kernel_->name +
+                      "' (CgraMachine has 1 lane)");
   }
-  throw ConfigError("unknown kernel parameter: " + name);
+}
+
+void CgraMachine::set_param(ParamHandle h, double value, std::size_t lane) {
+  check_lane(lane);
+  if (!h.valid() ||
+      static_cast<std::size_t>(h.index) >= param_vals_.size()) {
+    throw ConfigError("invalid parameter handle for kernel '" +
+                      kernel_->name + "'");
+  }
+  param_vals_[static_cast<std::size_t>(h.index)] = quantise(value);
+}
+
+double CgraMachine::param(ParamHandle h, std::size_t lane) const {
+  check_lane(lane);
+  if (!h.valid() ||
+      static_cast<std::size_t>(h.index) >= param_vals_.size()) {
+    throw ConfigError("invalid parameter handle for kernel '" +
+                      kernel_->name + "'");
+  }
+  return param_vals_[static_cast<std::size_t>(h.index)];
+}
+
+double CgraMachine::state(StateHandle h, std::size_t lane) const {
+  check_lane(lane);
+  if (!h.valid() ||
+      static_cast<std::size_t>(h.index) >= state_vals_.size()) {
+    throw ConfigError("invalid state handle for kernel '" + kernel_->name +
+                      "'");
+  }
+  return state_vals_[static_cast<std::size_t>(h.index)];
+}
+
+void CgraMachine::set_state(StateHandle h, double value, std::size_t lane) {
+  check_lane(lane);
+  if (!h.valid() ||
+      static_cast<std::size_t>(h.index) >= state_vals_.size()) {
+    throw ConfigError("invalid state handle for kernel '" + kernel_->name +
+                      "'");
+  }
+  state_vals_[static_cast<std::size_t>(h.index)] = quantise(value);
+}
+
+void CgraMachine::set_param(const std::string& name, double value) {
+  set_param(cgra::param_handle(*kernel_, name), value);
 }
 
 double CgraMachine::param(const std::string& name) const {
-  const auto& params = kernel_->dfg.params();
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    if (params[i].name == name) return param_vals_[i];
-  }
-  throw ConfigError("unknown kernel parameter: " + name);
+  return param(cgra::param_handle(*kernel_, name));
 }
 
 double CgraMachine::state(const std::string& name) const {
-  const auto& states = kernel_->dfg.states();
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    if (states[i].name == name) return state_vals_[i];
-  }
-  throw ConfigError("unknown kernel state: " + name);
+  return state(cgra::state_handle(*kernel_, name));
 }
 
 void CgraMachine::set_state(const std::string& name, double value) {
-  const auto& states = kernel_->dfg.states();
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    if (states[i].name == name) {
-      state_vals_[i] = quantise(value);
-      return;
-    }
-  }
-  throw ConfigError("unknown kernel state: " + name);
+  set_state(cgra::state_handle(*kernel_, name), value);
 }
 
 double CgraMachine::value(NodeId node) const {
@@ -146,90 +178,10 @@ double CgraMachine::operand(NodeId consumer, NodeId producer) const {
 }
 
 double CgraMachine::eval(const Node& n, double a, double b, double c) {
-  if (precision_ == Precision::kFloat32) {
-    const auto fa = static_cast<float>(a);
-    const auto fb = static_cast<float>(b);
-    const auto fc = static_cast<float>(c);
-    switch (n.kind) {
-      case OpKind::kAdd: return static_cast<double>(fa + fb);
-      case OpKind::kSub: return static_cast<double>(fa - fb);
-      case OpKind::kMul: return static_cast<double>(fa * fb);
-      case OpKind::kDiv: return static_cast<double>(fa / fb);
-      case OpKind::kSqrt: return static_cast<double>(std::sqrt(fa));
-      case OpKind::kNeg: return static_cast<double>(-fa);
-      case OpKind::kAbs: return static_cast<double>(std::fabs(fa));
-      case OpKind::kMin: return static_cast<double>(std::fmin(fa, fb));
-      case OpKind::kMax: return static_cast<double>(std::fmax(fa, fb));
-      case OpKind::kFloor: return static_cast<double>(std::floor(fa));
-      case OpKind::kSin: {
-        float c, s;
-        cordic_rotate(fa, &c, &s);
-        return static_cast<double>(s);
-      }
-      case OpKind::kCos: {
-        float c, s;
-        cordic_rotate(fa, &c, &s);
-        return static_cast<double>(c);
-      }
-      case OpKind::kCmpLt: return fa < fb ? 1.0 : 0.0;
-      case OpKind::kCmpLe: return fa <= fb ? 1.0 : 0.0;
-      case OpKind::kCmpEq: return fa == fb ? 1.0 : 0.0;
-      case OpKind::kSelect: return fa != 0.0f ? static_cast<double>(fb)
-                                              : static_cast<double>(fc);
-      default: break;
-    }
-  } else {
-    switch (n.kind) {
-      case OpKind::kAdd: return a + b;
-      case OpKind::kSub: return a - b;
-      case OpKind::kMul: return a * b;
-      case OpKind::kDiv: return a / b;
-      case OpKind::kSqrt: return std::sqrt(a);
-      case OpKind::kNeg: return -a;
-      case OpKind::kAbs: return std::fabs(a);
-      case OpKind::kMin: return std::fmin(a, b);
-      case OpKind::kMax: return std::fmax(a, b);
-      case OpKind::kFloor: return std::floor(a);
-      case OpKind::kSin: {
-        double c, s;
-        cordic_rotate(a, &c, &s);
-        return s;
-      }
-      case OpKind::kCos: {
-        double c, s;
-        cordic_rotate(a, &c, &s);
-        return c;
-      }
-      case OpKind::kCmpLt: return a < b ? 1.0 : 0.0;
-      case OpKind::kCmpLe: return a <= b ? 1.0 : 0.0;
-      case OpKind::kCmpEq: return a == b ? 1.0 : 0.0;
-      case OpKind::kSelect: return a != 0.0 ? b : c;
-      default: break;
-    }
-  }
-  CITL_CHECK_MSG(false, "eval() called on a non-arithmetic op");
-  return 0.0;
+  return precision_ == Precision::kFloat32
+             ? detail::eval_scalar<float>(n.kind, a, b, c)
+             : detail::eval_scalar<double>(n.kind, a, b, c);
 }
-
-namespace {
-
-/// Index of a state/param node within its table, or -1.
-int state_index(const Dfg& g, NodeId id) {
-  const auto& states = g.states();
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    if (states[i].node == id) return static_cast<int>(i);
-  }
-  return -1;
-}
-int param_index(const Dfg& g, NodeId id) {
-  const auto& params = g.params();
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    if (params[i].node == id) return static_cast<int>(i);
-  }
-  return -1;
-}
-
-}  // namespace
 
 void CgraMachine::run_iteration() {
   const Dfg& g = kernel_->dfg;
@@ -241,10 +193,12 @@ void CgraMachine::run_iteration() {
         out = quantise(n.constant);
         break;
       case OpKind::kParam:
-        out = param_vals_[static_cast<std::size_t>(param_index(g, id))];
+        out = param_vals_[static_cast<std::size_t>(
+            param_slot_[static_cast<std::size_t>(id)])];
         break;
       case OpKind::kState:
-        out = state_vals_[static_cast<std::size_t>(state_index(g, id))];
+        out = state_vals_[static_cast<std::size_t>(
+            state_slot_[static_cast<std::size_t>(id)])];
         break;
       case OpKind::kLoad: {
         const double addr = operand(id, n.args[0]);
@@ -332,10 +286,12 @@ unsigned CgraMachine::run_iteration_cycle_accurate() {
           out = quantise(n.constant);
           break;
         case OpKind::kParam:
-          out = param_vals_[static_cast<std::size_t>(param_index(g, id))];
+          out = param_vals_[static_cast<std::size_t>(
+              param_slot_[static_cast<std::size_t>(id)])];
           break;
         case OpKind::kState:
-          out = state_vals_[static_cast<std::size_t>(state_index(g, id))];
+          out = state_vals_[static_cast<std::size_t>(
+              state_slot_[static_cast<std::size_t>(id)])];
           break;
         case OpKind::kLoad: {
           const DecodedAddress da = decode_address(read_operand(n.args[0]));

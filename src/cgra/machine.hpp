@@ -12,9 +12,15 @@
 // Arithmetic is performed in IEEE binary32 by default — the overlay's PEs
 // are single-precision floating-point operators — with an optional binary64
 // mode for precision studies.
+//
+// Model-facing API: parameters and loop-carried states are addressed through
+// ParamHandle / StateHandle, resolved once from the kernel. The string
+// overloads resolve a handle and delegate; they exist for interactive use
+// (console, tests) and must stay off per-revolution hot paths.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cgra/schedule.hpp"
@@ -24,7 +30,75 @@ namespace citl::cgra {
 
 enum class Precision { kFloat32, kFloat64 };
 
-class CgraMachine {
+/// Index of a runtime parameter within its kernel's parameter table.
+/// Resolved once (param_handle / BeamModel::param_handle); valid only for
+/// machines executing the kernel it was resolved from.
+struct ParamHandle {
+  int index = -1;
+  [[nodiscard]] constexpr bool valid() const noexcept { return index >= 0; }
+};
+
+/// Index of a loop-carried state within its kernel's state table.
+struct StateHandle {
+  int index = -1;
+  [[nodiscard]] constexpr bool valid() const noexcept { return index >= 0; }
+};
+
+/// Resolves `name` against the kernel's parameter table. Throws citl::Error
+/// (ConfigError) naming the kernel and the offending key if absent.
+[[nodiscard]] ParamHandle param_handle(const CompiledKernel& kernel,
+                                       std::string_view name);
+[[nodiscard]] StateHandle state_handle(const CompiledKernel& kernel,
+                                       std::string_view name);
+/// Non-throwing lookups: an invalid handle means "not present".
+[[nodiscard]] ParamHandle find_param(const CompiledKernel& kernel,
+                                     std::string_view name) noexcept;
+[[nodiscard]] StateHandle find_state(const CompiledKernel& kernel,
+                                     std::string_view name) noexcept;
+
+/// Common interface of the kernel-executing machines: CgraMachine is the
+/// single-lane implementation, BatchedCgraMachine (batch.hpp) runs N lanes
+/// of the same kernel in lockstep. hil::Framework, hil::TurnLoop and the
+/// sweep engine drive models through this interface so a loop body is
+/// agnostic about whether it owns lane 0 of a batch or a whole machine.
+class BeamModel {
+ public:
+  virtual ~BeamModel() = default;
+
+  [[nodiscard]] virtual const CompiledKernel& kernel() const noexcept = 0;
+  /// Number of independent lanes (scenarios) this model executes per
+  /// iteration. CgraMachine: always 1.
+  [[nodiscard]] virtual std::size_t lanes() const noexcept = 0;
+
+  /// Resets every lane: states to initial values, params to defaults,
+  /// pipeline registers cleared.
+  virtual void reset() = 0;
+
+  /// Per-lane parameter / state access. Throws citl::Error for an invalid
+  /// handle or an out-of-range lane. Values are quantised to the machine's
+  /// working precision on write, exactly like the hardware register file.
+  virtual void set_param(ParamHandle h, double value, std::size_t lane) = 0;
+  [[nodiscard]] virtual double param(ParamHandle h,
+                                     std::size_t lane) const = 0;
+  virtual void set_state(StateHandle h, double value, std::size_t lane) = 0;
+  [[nodiscard]] virtual double state(StateHandle h,
+                                     std::size_t lane) const = 0;
+
+  /// Runs one kernel iteration on every lane (functionally); returns the
+  /// CGRA clock ticks one iteration occupies (== schedule length — identical
+  /// in functional and cycle-accurate execution, a tested invariant).
+  virtual unsigned run_iteration_all_lanes() = 0;
+
+  // Handle resolution against this model's kernel.
+  [[nodiscard]] ParamHandle param_handle(std::string_view name) const {
+    return cgra::param_handle(kernel(), name);
+  }
+  [[nodiscard]] StateHandle state_handle(std::string_view name) const {
+    return cgra::state_handle(kernel(), name);
+  }
+};
+
+class CgraMachine final : public BeamModel {
  public:
   /// The machine keeps a reference to the kernel and the bus; both must
   /// outlive it.
@@ -32,18 +106,31 @@ class CgraMachine {
               Precision precision = Precision::kFloat32);
 
   /// Resets states to their initial values and clears pipeline registers.
-  void reset();
+  void reset() override;
 
-  /// Sets a runtime parameter (by kernel-source name).
+  // --- handle-based access (the hot-path API) -----------------------------
+  void set_param(ParamHandle h, double value, std::size_t lane = 0) override;
+  [[nodiscard]] double param(ParamHandle h,
+                             std::size_t lane = 0) const override;
+  void set_state(StateHandle h, double value, std::size_t lane = 0) override;
+  [[nodiscard]] double state(StateHandle h,
+                             std::size_t lane = 0) const override;
+
+  // --- string-keyed access (deprecated wrappers) --------------------------
+  // Resolve a handle per call and delegate; fine for consoles and tests,
+  // wrong for anything per-revolution. Prefer param_handle()/state_handle().
   void set_param(const std::string& name, double value);
   [[nodiscard]] double param(const std::string& name) const;
-
-  /// Reads / overrides a loop-carried state (by kernel-source name).
   [[nodiscard]] double state(const std::string& name) const;
   void set_state(const std::string& name, double value);
 
   /// Runs one loop iteration functionally.
   void run_iteration();
+
+  unsigned run_iteration_all_lanes() override {
+    run_iteration();
+    return kernel_->schedule.length;
+  }
 
   /// Runs one loop iteration cycle-by-cycle; returns the number of CGRA
   /// clock ticks consumed (== schedule length).
@@ -55,15 +142,17 @@ class CgraMachine {
   [[nodiscard]] std::uint64_t iterations() const noexcept {
     return iterations_;
   }
-  [[nodiscard]] const CompiledKernel& kernel() const noexcept {
+  [[nodiscard]] const CompiledKernel& kernel() const noexcept override {
     return *kernel_;
   }
+  [[nodiscard]] std::size_t lanes() const noexcept override { return 1; }
 
  private:
   [[nodiscard]] double eval(const Node& n, double a, double b, double c);
   [[nodiscard]] double operand(NodeId consumer, NodeId producer) const;
   void commit_iteration();
   [[nodiscard]] double quantise(double v) const noexcept;
+  void check_lane(std::size_t lane) const;
 
   const CompiledKernel* kernel_;
   SensorBus* bus_;
@@ -73,6 +162,8 @@ class CgraMachine {
   std::vector<double> state_vals_;  ///< current state values (by state index)
   std::vector<double> param_vals_;  ///< current param values (by param index)
   std::vector<NodeId> topo_;
+  std::vector<int> param_slot_;     ///< node id -> param index (or -1)
+  std::vector<int> state_slot_;     ///< node id -> state index (or -1)
   std::uint64_t iterations_ = 0;
 };
 

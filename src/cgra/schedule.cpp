@@ -296,11 +296,13 @@ Schedule schedule_dfg(const Dfg& dfg, const CgraArch& arch) {
   return sched;
 }
 
-CompiledKernel compile_kernel(std::string_view source, const CgraArch& arch) {
+CompiledKernel compile_kernel(std::string_view source, const CgraArch& arch,
+                              std::string name) {
   // Pass-level spans make the compiler's cost visible in a trace; the
   // histogram records what came out (the real-time budget driver, §IV-B).
   CITL_TRACE_SPAN("cgra.compile");
   CompiledKernel k;
+  k.name = std::move(name);
   {
     CITL_TRACE_SPAN("cgra.compile.frontend");
     k.dfg = compile_to_dfg(source);

@@ -60,6 +60,9 @@ struct CompiledKernel {
   Dfg dfg;
   CgraArch arch;
   Schedule schedule;
+  /// Diagnostic name carried into error messages ("unknown parameter 'x' in
+  /// kernel 'beam_sampled'"). Purely descriptive, never part of semantics.
+  std::string name = "kernel";
 
   /// Per-PE context-memory listing (human-readable), the artefact that would
   /// be written into the bitstream's context memories.
@@ -70,9 +73,10 @@ struct CompiledKernel {
 /// the graph needs capabilities the architecture lacks.
 [[nodiscard]] Schedule schedule_dfg(const Dfg& dfg, const CgraArch& arch);
 
-/// Parse + lower + schedule.
+/// Parse + lower + schedule. `name` labels the kernel in error messages.
 [[nodiscard]] CompiledKernel compile_kernel(std::string_view source,
-                                            const CgraArch& arch);
+                                            const CgraArch& arch,
+                                            std::string name = "kernel");
 
 /// Aggregate quality metrics of a schedule.
 struct ScheduleStats {

@@ -11,18 +11,27 @@
 
 namespace citl {
 
-/// Thrown when a user-supplied configuration is inconsistent.
-class ConfigError : public std::runtime_error {
+/// Common base of every user-facing library error. Catching citl::Error is
+/// the supported way to handle "the caller asked for something impossible"
+/// uniformly (unknown kernel parameter, lane out of range, bad source, ...);
+/// std::logic_error from CITL_CHECK still means a library bug.
+class Error : public std::runtime_error {
  public:
-  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a user-supplied configuration is inconsistent.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
 /// Thrown when kernel-language source fails to compile for the CGRA.
-class CompileError : public std::runtime_error {
+class CompileError : public Error {
  public:
   CompileError(const std::string& what, int line, int column)
-      : std::runtime_error(what + " (line " + std::to_string(line) +
-                           ", column " + std::to_string(column) + ")"),
+      : Error(what + " (line " + std::to_string(line) + ", column " +
+              std::to_string(column) + ")"),
         line_(line),
         column_(column) {}
 

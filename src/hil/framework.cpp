@@ -98,7 +98,7 @@ Framework::Framework(const FrameworkConfig& config)
                 std::make_shared<const cgra::CompiledKernel>(
                     cgra::compile_kernel(
                         cgra::beam_kernel_source(effective_kernel_config(config)),
-                        config.arch))) {}
+                        config.arch, "beam_sampled"))) {}
 
 Framework::Framework(const FrameworkConfig& config,
                      std::shared_ptr<const cgra::CompiledKernel> kernel)
@@ -149,6 +149,10 @@ Framework::Framework(const FrameworkConfig& config,
   obs_phase_samples_ = &reg.counter("hil.phase_samples");
   obs_corrections_ = &reg.counter("hil.controller_corrections");
   obs_deadline_misses_ = &reg.counter("hil.deadline_misses");
+
+  record_enable_ = params_.handle("record_enable");
+  beam_pulse_scale_ = params_.handle("beam_pulse_scale");
+  monitor_source_ = params_.handle("monitor_source");
 }
 
 Framework::~Framework() = default;
@@ -160,7 +164,33 @@ void Framework::set_pulse_shape(double sigma_s, double amplitude_v) {
       sigma_s * kSampleClock.frequency_hz(), amplitude_v));
 }
 
+void Framework::account_cgra_run(unsigned exec_cycles, double budget_cycles,
+                                 double when_s) {
+  ++cgra_runs_;
+  obs_revolutions_->add();
+  // Hard real-time check (§IV-B): the schedule must complete within one
+  // reference period at the CGRA clock. The boolean violation counter and
+  // the profiler share one comparison so they can never disagree.
+  deadline_.record(static_cast<double>(exec_cycles), budget_cycles, when_s);
+  if (static_cast<double>(exec_cycles) > budget_cycles) {
+    ++realtime_violations_;
+    obs_deadline_misses_->add();
+  }
+}
+
 void Framework::run_cgra() {
+  const double budget_cycles =
+      period_det_.period_seconds(kSampleClock) * kernel_->arch.clock_hz;
+  if (cgra_deferred_) {
+    // Batched mode: park the request. Budget and timestamp are captured now
+    // so complete_cgra_run() accounts exactly what the owned path would.
+    CITL_CHECK_MSG(!cgra_pending_,
+                   "CGRA request already pending (driver missed a completion)");
+    cgra_pending_ = true;
+    pending_budget_cycles_ = budget_cycles;
+    pending_time_s_ = time_s();
+    return;
+  }
   CITL_TRACE_SPAN("hil.cgra_revolution");
   unsigned exec_cycles = kernel_->schedule.length;
   if (config_.cycle_accurate_cgra) {
@@ -168,18 +198,21 @@ void Framework::run_cgra() {
   } else {
     machine_->run_iteration();
   }
-  ++cgra_runs_;
-  obs_revolutions_->add();
-  // Hard real-time check (§IV-B): the schedule must complete within one
-  // reference period at the CGRA clock. The boolean violation counter and
-  // the profiler share one comparison so they can never disagree.
-  const double budget_cycles =
-      period_det_.period_seconds(kSampleClock) * kernel_->arch.clock_hz;
-  deadline_.record(static_cast<double>(exec_cycles), budget_cycles, time_s());
-  if (static_cast<double>(exec_cycles) > budget_cycles) {
-    ++realtime_violations_;
-    obs_deadline_misses_->add();
-  }
+  account_cgra_run(exec_cycles, budget_cycles, time_s());
+}
+
+cgra::SensorBus& Framework::cgra_bus() noexcept { return *bus_; }
+
+bool Framework::run_until_cgra_request(std::int64_t max_ticks) {
+  CITL_CHECK_MSG(!cgra_pending_, "pending CGRA request not completed");
+  for (std::int64_t i = 0; i < max_ticks && !cgra_pending_; ++i) tick();
+  return cgra_pending_;
+}
+
+void Framework::complete_cgra_run(unsigned exec_cycles) {
+  CITL_CHECK_MSG(cgra_pending_, "no CGRA request to complete");
+  cgra_pending_ = false;
+  account_cgra_run(exec_cycles, pending_budget_cycles_, pending_time_s_);
 }
 
 void Framework::on_reference_crossing() {
@@ -205,7 +238,7 @@ void Framework::on_reference_crossing() {
 void Framework::handle_phase_sample(const ctrl::PhaseSample& sample) {
   last_phase_ = sample.phase_rad;
   obs_phase_samples_->add();
-  if (params_.get("record_enable") != 0.0) {
+  if (ParameterBus::get(record_enable_) != 0.0) {
     phase_trace_.push(sample.time_s, sample.phase_rad);
   }
   // The controller acts on the bunch-vs-gap phase (bucket position); the
@@ -261,14 +294,15 @@ FrameworkOutputs Framework::tick() {
   }
 
   // 5. Monitoring output (§III-A): phase difference or beam mirror.
-  const double monitor_raw =
-      params_.monitor_source() == MonitorSource::kPhaseDifference
-          ? bus_->monitor_value
-          : beam_raw;
+  const auto monitor_source = static_cast<MonitorSource>(
+      static_cast<std::uint8_t>(ParameterBus::get(monitor_source_)));
+  const double monitor_raw = monitor_source == MonitorSource::kPhaseDifference
+                                 ? bus_->monitor_value
+                                 : beam_raw;
   const double monitor_v = dac_monitor_.convert(
-      monitor_raw * params_.get("beam_pulse_scale"));
+      monitor_raw * ParameterBus::get(beam_pulse_scale_));
 
-  if (params_.get("record_enable") != 0.0) {
+  if (ParameterBus::get(record_enable_) != 0.0) {
     beam_trace_.push(time_s(), beam_v);
   }
 

@@ -113,6 +113,31 @@ class Framework {
   /// Runs for `seconds` of simulated time.
   void run_seconds(double seconds);
 
+  // --- deferred CGRA execution (batched sweeps) ---------------------------
+  // In deferred mode a reference crossing *requests* a kernel iteration
+  // instead of running the private machine; an external driver executes one
+  // batched iteration across many frameworks' lanes (their buses attached
+  // through a cgra::PerLaneBusAdapter) and then acknowledges each lane. The
+  // framework is parked right after the crossing tick, so every bus read and
+  // actuator write the kernel performs observes exactly the state the serial
+  // path would have seen (docs/BATCHING.md discusses the one exception, the
+  // monitor DAC sample of the crossing tick itself).
+
+  /// Switches tick() to raising CGRA requests. Enable before the first tick.
+  void set_cgra_deferred(bool on) noexcept { cgra_deferred_ = on; }
+  /// The framework's sensor bus, for attaching to a batched machine's lane.
+  [[nodiscard]] cgra::SensorBus& cgra_bus() noexcept;
+  /// Ticks until a CGRA request is raised or `max_ticks` elapse. Returns
+  /// true when a request is pending (complete_cgra_run() must follow before
+  /// the next call).
+  bool run_until_cgra_request(std::int64_t max_ticks);
+  [[nodiscard]] bool cgra_request_pending() const noexcept {
+    return cgra_pending_;
+  }
+  /// Acknowledges the pending request after the external model executed this
+  /// lane; performs the same deadline accounting the owned path does.
+  void complete_cgra_run(unsigned exec_cycles);
+
   [[nodiscard]] Tick now() const noexcept { return now_; }
   [[nodiscard]] double time_s() const noexcept;
   [[nodiscard]] bool initialised() const noexcept { return initialised_; }
@@ -164,6 +189,8 @@ class Framework {
   class FrameworkBus;
   void on_reference_crossing();
   void run_cgra();
+  void account_cgra_run(unsigned exec_cycles, double budget_cycles,
+                        double when_s);
   void handle_phase_sample(const ctrl::PhaseSample& sample);
 
   FrameworkConfig config_;
@@ -200,6 +227,20 @@ class Framework {
   std::int64_t cgra_runs_ = 0;
   std::int64_t realtime_violations_ = 0;
   obs::DeadlineProfiler deadline_;
+
+  // Deferred-CGRA bookkeeping: budget and timestamp are captured at the
+  // request point so the external completion records exactly what the owned
+  // path would have.
+  bool cgra_deferred_ = false;
+  bool cgra_pending_ = false;
+  double pending_budget_cycles_ = 0.0;
+  double pending_time_s_ = 0.0;
+
+  // Parameter-bus handles for the per-tick registers (resolved once; the
+  // string API remains for interactive use).
+  ParameterBus::Handle record_enable_ = nullptr;
+  ParameterBus::Handle beam_pulse_scale_ = nullptr;
+  ParameterBus::Handle monitor_source_ = nullptr;
 
   // Global-registry handles, resolved once at construction (no-ops while
   // the registry is disabled — the default).

@@ -80,6 +80,8 @@ class RampLoop {
   cgra::CompiledKernel kernel_;
   std::unique_ptr<RampBus> bus_;
   std::unique_ptr<cgra::CgraMachine> machine_;
+  cgra::StateHandle h_dt0_;
+  cgra::StateHandle h_dgamma0_;
   double time_s_ = 0.0;
 };
 

@@ -86,14 +86,8 @@ class TurnLoop::AnalyticBus final : public cgra::SensorBus {
   double h2_phase_;
 };
 
-TurnLoop::TurnLoop(const TurnLoopConfig& config)
-    : config_(config),
-      controller_(config.controller),
-      decimator_(static_cast<std::size_t>(
-          std::lround(config.f_ref_hz / config.controller.sample_rate_hz))),
-      noise_(config.noise_seed) {
-  CITL_CHECK_MSG(config.f_ref_hz > 0.0, "reference frequency must be positive");
-
+cgra::BeamKernelConfig TurnLoop::effective_kernel_config(
+    const TurnLoopConfig& config) {
   // Initialise the model exactly like the paper's init phase (§IV-B): the
   // reference energy follows from the measured revolution frequency and the
   // orbit length; the voltage scale maps ADC volts to gap volts.
@@ -101,10 +95,31 @@ TurnLoop::TurnLoop(const TurnLoopConfig& config)
   kc.gamma0 = phys::gamma_from_revolution_frequency(
       config.f_ref_hz, kc.ring.circumference_m);
   kc.v_scale = config.gap_voltage_v / config.gap_amplitude_v;
-  kernel_ = cgra::compile_kernel(config.synthesize_waveform
-                                     ? cgra::analytic_beam_kernel_source(kc)
-                                     : cgra::beam_kernel_source(kc),
-                                 config.arch);
+  return kc;
+}
+
+TurnLoop::TurnLoop(const TurnLoopConfig& config)
+    : TurnLoop(config, nullptr) {}
+
+TurnLoop::TurnLoop(const TurnLoopConfig& config,
+                   std::shared_ptr<const cgra::CompiledKernel> kernel)
+    : config_(config),
+      controller_(config.controller),
+      decimator_(static_cast<std::size_t>(
+          std::lround(config.f_ref_hz / config.controller.sample_rate_hz))),
+      noise_(config.noise_seed) {
+  CITL_CHECK_MSG(config.f_ref_hz > 0.0, "reference frequency must be positive");
+
+  const cgra::BeamKernelConfig kc = effective_kernel_config(config);
+  if (kernel) {
+    kernel_ = std::move(kernel);
+  } else {
+    kernel_ = std::make_shared<const cgra::CompiledKernel>(cgra::compile_kernel(
+        config.synthesize_waveform ? cgra::analytic_beam_kernel_source(kc)
+                                   : cgra::beam_kernel_source(kc),
+        config.arch,
+        config.synthesize_waveform ? "beam_analytic" : "beam_sampled"));
+  }
 
   bus_ = std::make_unique<AnalyticBus>(config.f_ref_hz, kc.sample_rate_hz,
                                        kc.ring.harmonic,
@@ -112,7 +127,13 @@ TurnLoop::TurnLoop(const TurnLoopConfig& config)
                                        config.gap_amplitude_v,
                                        config.gap_h2_ratio,
                                        config.gap_h2_phase_rad);
-  machine_ = std::make_unique<cgra::CgraMachine>(kernel_, *bus_);
+  machine_ = std::make_unique<cgra::CgraMachine>(*kernel_, *bus_);
+  model_ = machine_.get();
+
+  h_v_hat_ = cgra::find_param(*kernel_, "v_hat");
+  h_gap_phase_ = cgra::find_param(*kernel_, "gap_phase");
+  h_dt0_ = cgra::state_handle(*kernel_, "dt0");
+  h_dgamma0_ = cgra::state_handle(*kernel_, "dgamma0");
 
   t_ref_s_ = 1.0 / config.f_ref_hz;
   omega_gap_ = kTwoPi * config.f_ref_hz *
@@ -120,7 +141,26 @@ TurnLoop::TurnLoop(const TurnLoopConfig& config)
   control_on_ = config.control_enabled;
 }
 
+TurnLoop::TurnLoop(const TurnLoopConfig& config,
+                   std::shared_ptr<const cgra::CompiledKernel> kernel,
+                   ExternalModel)
+    : TurnLoop(config, std::move(kernel)) {
+  // Drop the owned machine: execution happens through an attached lane.
+  machine_.reset();
+  model_ = nullptr;
+}
+
 TurnLoop::~TurnLoop() = default;
+
+void TurnLoop::attach_model(cgra::BeamModel& model, std::size_t lane) {
+  CITL_CHECK_MSG(&model.kernel() == kernel_.get(),
+                 "attached model executes a different kernel");
+  CITL_CHECK_MSG(lane < model.lanes(), "attach_model lane out of range");
+  model_ = &model;
+  lane_ = lane;
+}
+
+cgra::SensorBus& TurnLoop::cgra_bus() noexcept { return *bus_; }
 
 double TurnLoop::gap_phase_rad() const noexcept {
   const double jump =
@@ -129,12 +169,15 @@ double TurnLoop::gap_phase_rad() const noexcept {
 }
 
 void TurnLoop::displace(double dgamma, double dt_s) {
-  machine_->set_state("dgamma0", dgamma);
-  machine_->set_state("dt0", dt_s);
+  CITL_CHECK_MSG(model_ != nullptr, "no model attached");
+  model_->set_state(h_dgamma0_, dgamma, lane_);
+  model_->set_state(h_dt0_, dt_s, lane_);
 }
 
-TurnRecord TurnLoop::step() {
-  // 1. Present this revolution's inputs.
+void TurnLoop::begin_turn() {
+  CITL_CHECK_MSG(model_ != nullptr, "no model attached");
+  CITL_CHECK_MSG(!turn_open_, "begin_turn() without finish_turn()");
+  // Present this revolution's inputs.
   double period = t_ref_s_;
   if (config_.quantise_period) {
     // The hardware's period detector counts capture-clock ticks between
@@ -149,29 +192,36 @@ TurnRecord TurnLoop::step() {
     // The host updates the waveform parameters each revolution, the same
     // role the SpartanMC parameter interface plays for the sampled kernel's
     // voltage scaling.
-    machine_->set_param("v_hat", config_.gap_voltage_v);
-    machine_->set_param("gap_phase", bus_->gap_phase_rad);
+    model_->set_param(h_v_hat_, config_.gap_voltage_v, lane_);
+    model_->set_param(h_gap_phase_, bus_->gap_phase_rad, lane_);
+  }
+  // Real-time budget for this revolution: the schedule must complete within
+  // the measured period at the CGRA clock (§IV-B).
+  budget_cycles_ = period * kernel_->arch.clock_hz;
+  turn_open_ = true;
+}
+
+TurnRecord TurnLoop::finish_turn(unsigned exec_cycles) {
+  CITL_CHECK_MSG(turn_open_, "finish_turn() without begin_turn()");
+  turn_open_ = false;
+
+  deadline_.record(static_cast<double>(exec_cycles), budget_cycles_, time_s_);
+  if (static_cast<double>(exec_cycles) > budget_cycles_) {
+    ++realtime_violations_;
   }
 
-  // 2. Execute the compiled kernel for this revolution.
-  if (config_.cycle_accurate) {
-    machine_->run_iteration_cycle_accurate();
-  } else {
-    machine_->run_iteration();
-  }
-
-  // 3. Phase measurement on the generated beam signal (bunch 0). The plotted
-  //    quantity (Fig. 5) is the phase between beam and *reference* signal;
-  //    the controlled quantity is the phase between beam and *gap* signal —
-  //    the bunch position inside its bucket (Klingbeil 2007). Feedback on
-  //    the latter yields a plain damped second-order loop.
+  // Phase measurement on the generated beam signal (bunch 0). The plotted
+  // quantity (Fig. 5) is the phase between beam and *reference* signal;
+  // the controlled quantity is the phase between beam and *gap* signal —
+  // the bunch position inside its bucket (Klingbeil 2007). Feedback on
+  // the latter yields a plain damped second-order loop.
   double phase = wrap_angle(bus_->arrivals[0] * omega_gap_);
   if (config_.phase_noise_rad > 0.0) {
     phase += noise_.gaussian(0.0, config_.phase_noise_rad);
   }
   const double bucket_phase = wrap_angle(phase + bus_->gap_phase_rad);
 
-  // 4. Closed-loop control at the decimated rate.
+  // Closed-loop control at the decimated rate.
   if (decimator_.feed(bucket_phase)) {
     correction_hz_ = control_on_ ? controller_.update(decimator_.output())
                                  : 0.0;
@@ -186,10 +236,27 @@ TurnRecord TurnLoop::step() {
 
   return TurnRecord{time_s_,
                     phase,
-                    machine_->state("dt0"),
-                    machine_->state("dgamma0"),
+                    model_->state(h_dt0_, lane_),
+                    model_->state(h_dgamma0_, lane_),
                     correction_hz_,
                     bus_->gap_phase_rad};
+}
+
+TurnRecord TurnLoop::step() {
+  begin_turn();
+  unsigned exec_cycles;
+  if (config_.cycle_accurate) {
+    CITL_CHECK_MSG(machine_ != nullptr,
+                   "cycle-accurate stepping needs the owned machine");
+    exec_cycles = machine_->run_iteration_cycle_accurate();
+  } else {
+    // Owned machines have one lane; a multi-lane attached model must be
+    // driven through begin_turn()/finish_turn() by its batch driver instead.
+    CITL_CHECK_MSG(model_->lanes() == 1,
+                   "step() would iterate every lane of a shared model");
+    exec_cycles = model_->run_iteration_all_lanes();
+  }
+  return finish_turn(exec_cycles);
 }
 
 void TurnLoop::run(std::int64_t turns,

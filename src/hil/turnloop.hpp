@@ -7,8 +7,14 @@
 // turn loop replaces the converter chain with closed-form evaluations of the
 // same signals — the DDS sines are evaluated exactly where the ring-buffer
 // reads would have sampled them — while still executing the *real compiled
-// kernel* on the CGRA machine every revolution and running the *real
-// controller*. Tests pin the two loops against each other.
+// kernel* on the CGRA machine every revolution and running the *real*
+// controller. Tests pin the two loops against each other.
+//
+// A turn splits into begin_turn() (present this revolution's inputs) and
+// finish_turn() (phase measurement + control) around the kernel execution,
+// so a batched driver can run many loops' kernel iterations as lanes of one
+// BatchedCgraMachine between the two halves. step() is the serial
+// convenience that does all three against the loop's own model.
 #pragma once
 
 #include <functional>
@@ -22,6 +28,7 @@
 #include "ctrl/controller.hpp"
 #include "ctrl/jump.hpp"
 #include "hil/recorder.hpp"
+#include "obs/deadline.hpp"
 
 namespace citl::hil {
 
@@ -63,11 +70,46 @@ struct TurnRecord {
 
 class TurnLoop {
  public:
+  /// Tag: construct without an owned machine. attach_model() must point the
+  /// loop at a lane of a shared cgra::BeamModel before the first turn.
+  struct ExternalModel {};
+
   explicit TurnLoop(const TurnLoopConfig& config);
+  /// Constructs against an already-compiled kernel (shared, immutable); must
+  /// equal compile_kernel of the effective_kernel_config() source. Scenario
+  /// sweeps use this with a kernel cache so many loops share one compile.
+  TurnLoop(const TurnLoopConfig& config,
+           std::shared_ptr<const cgra::CompiledKernel> kernel);
+  /// Shared kernel and no owned machine: the loop executes through an
+  /// attached lane of an external model (batched sweeps).
+  TurnLoop(const TurnLoopConfig& config,
+           std::shared_ptr<const cgra::CompiledKernel> kernel, ExternalModel);
   ~TurnLoop();
 
-  /// Runs one revolution; returns its observables.
+  /// The kernel configuration actually compiled: host-side initialisation
+  /// (§IV-B) bakes gamma0 from the revolution frequency and the ADC-to-gap
+  /// voltage scaling into the kernel constants.
+  [[nodiscard]] static cgra::BeamKernelConfig effective_kernel_config(
+      const TurnLoopConfig& config);
+
+  /// Points the loop at lane `lane` of a shared model (its sensor bus for
+  /// that lane must be this loop's cgra_bus()). The model must execute this
+  /// loop's kernel.
+  void attach_model(cgra::BeamModel& model, std::size_t lane);
+
+  /// Runs one revolution; returns its observables. Serial path only: with an
+  /// attached multi-lane model, use begin_turn()/finish_turn() and drive the
+  /// batched iteration externally.
   TurnRecord step();
+
+  // --- split-turn API (batched drivers) -----------------------------------
+  /// Presents this revolution's inputs (measured period, gap phase, waveform
+  /// parameters) to the bus and the model lane.
+  void begin_turn();
+  /// Completes the revolution after the kernel iteration ran: phase
+  /// measurement, control update, deadline accounting. `exec_cycles` is what
+  /// the iteration consumed (schedule length in functional mode).
+  TurnRecord finish_turn(unsigned exec_cycles);
 
   /// Runs `turns` revolutions, invoking `cb` (if any) per turn.
   void run(std::int64_t turns,
@@ -77,16 +119,39 @@ class TurnLoop {
   /// inputs instead — use jump programmes for that).
   void displace(double dgamma, double dt_s);
 
+  /// The loop's analytic sensor bus — attach it as this loop's lane of a
+  /// cgra::PerLaneBusAdapter when executing through a batched machine.
+  [[nodiscard]] cgra::SensorBus& cgra_bus() noexcept;
+
   [[nodiscard]] double time_s() const noexcept { return time_s_; }
   [[nodiscard]] std::int64_t turn() const noexcept { return turn_; }
+  /// Owned machine (null in ExternalModel mode — only call on owned loops).
   [[nodiscard]] cgra::CgraMachine& machine() noexcept { return *machine_; }
+  /// The model executing this loop's kernel (owned machine or attached lane).
+  [[nodiscard]] cgra::BeamModel& model() noexcept { return *model_; }
+  [[nodiscard]] std::size_t lane() const noexcept { return lane_; }
   [[nodiscard]] const cgra::CompiledKernel& kernel() const noexcept {
+    return *kernel_;
+  }
+  [[nodiscard]] std::shared_ptr<const cgra::CompiledKernel> kernel_ptr()
+      const noexcept {
     return kernel_;
   }
   [[nodiscard]] const TurnLoopConfig& config() const noexcept {
     return config_;
   }
   [[nodiscard]] double gap_phase_rad() const noexcept;
+
+  /// Per-revolution deadline accounting: schedule cycles against the
+  /// revolution-period budget at the CGRA clock — the same bookkeeping the
+  /// sample-accurate framework performs, so turn-level sweeps report the
+  /// identical real-time metrics.
+  [[nodiscard]] const obs::DeadlineProfiler& deadline() const noexcept {
+    return deadline_;
+  }
+  [[nodiscard]] std::int64_t realtime_violations() const noexcept {
+    return realtime_violations_;
+  }
 
   /// Opens/closes the phase control loop at runtime.
   void enable_control(bool on) noexcept { control_on_ = on; }
@@ -95,20 +160,33 @@ class TurnLoop {
   class AnalyticBus;
 
   TurnLoopConfig config_;
-  cgra::CompiledKernel kernel_;
+  std::shared_ptr<const cgra::CompiledKernel> kernel_;
   std::unique_ptr<AnalyticBus> bus_;
-  std::unique_ptr<cgra::CgraMachine> machine_;
+  std::unique_ptr<cgra::CgraMachine> machine_;  ///< null in ExternalModel mode
+  cgra::BeamModel* model_ = nullptr;            ///< machine_ or attached lane
+  std::size_t lane_ = 0;
   ctrl::BeamPhaseController controller_;
   ctrl::PhaseDecimator decimator_;
   Rng noise_;
+
+  // Handles resolved once against the kernel (invalid when the kernel has no
+  // such variable — v_hat/gap_phase exist only in the synthesis kernel).
+  cgra::ParamHandle h_v_hat_;
+  cgra::ParamHandle h_gap_phase_;
+  cgra::StateHandle h_dt0_;
+  cgra::StateHandle h_dgamma0_;
 
   double t_ref_s_;          ///< reference period
   double omega_gap_;        ///< 2π·h·f_ref
   double time_s_ = 0.0;
   std::int64_t turn_ = 0;
   bool control_on_ = true;
+  bool turn_open_ = false;  ///< begin_turn() ran, finish_turn() pending
   double ctrl_phase_rad_ = 0.0;   ///< integral of frequency corrections
   double correction_hz_ = 0.0;
+  double budget_cycles_ = 0.0;    ///< this turn's deadline budget
+  std::int64_t realtime_violations_ = 0;
+  obs::DeadlineProfiler deadline_;
 };
 
 }  // namespace citl::hil

@@ -23,9 +23,16 @@ void append_int(std::string& out, long long v) {
 }  // namespace
 
 std::string kernel_cache_key(const cgra::BeamKernelConfig& config,
-                             const cgra::CgraArch& arch) {
+                             const cgra::CgraArch& arch, KernelKind kind) {
   std::string key;
   key.reserve(256);
+  // Kernel generator first: the same config compiles to different programs
+  // for the sampled / analytic / ramp sources.
+  switch (kind) {
+    case KernelKind::kSampled: key += "sampled;"; break;
+    case KernelKind::kAnalytic: key += "analytic;"; break;
+    case KernelKind::kRamp: key += "ramp;"; break;
+  }
   // Ion: the kernel bakes Q/(mc^2) into constants; the name is cosmetic but
   // cheap to include and makes keys self-describing in debug dumps.
   key += config.ion.name;
@@ -69,9 +76,10 @@ std::string kernel_cache_key(const cgra::BeamKernelConfig& config,
 }
 
 std::shared_ptr<const cgra::CompiledKernel> KernelCache::get(
-    const cgra::BeamKernelConfig& config, const cgra::CgraArch& arch) {
+    const cgra::BeamKernelConfig& config, const cgra::CgraArch& arch,
+    KernelKind kind) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
-  const std::string key = kernel_cache_key(config, arch);
+  const std::string key = kernel_cache_key(config, arch, kind);
 
   std::promise<std::shared_ptr<const cgra::CompiledKernel>> promise;
   Entry entry;
@@ -101,8 +109,23 @@ std::shared_ptr<const cgra::CompiledKernel> KernelCache::get(
 
   try {
     CITL_TRACE_SPAN("sweep.kernel_compile");
+    std::string source;
+    const char* name = "beam_sampled";
+    switch (kind) {
+      case KernelKind::kSampled:
+        source = cgra::beam_kernel_source(config);
+        break;
+      case KernelKind::kAnalytic:
+        source = cgra::analytic_beam_kernel_source(config);
+        name = "beam_analytic";
+        break;
+      case KernelKind::kRamp:
+        source = cgra::ramp_beam_kernel_source(config);
+        name = "beam_ramp";
+        break;
+    }
     auto kernel = std::make_shared<const cgra::CompiledKernel>(
-        cgra::compile_kernel(cgra::beam_kernel_source(config), arch));
+        cgra::compile_kernel(source, arch, name));
     compilations_.fetch_add(1, std::memory_order_relaxed);
     promise.set_value(kernel);
     return kernel;

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -24,12 +25,19 @@
 
 namespace citl::sweep {
 
+/// Which kernel-source generator a cache entry holds. The sample-accurate
+/// framework compiles the sampled kernel; turn-level scenarios may use the
+/// CORDIC waveform-synthesis kernel or the ramp kernel instead, and those
+/// compile to different programs from the same BeamKernelConfig.
+enum class KernelKind : std::uint8_t { kSampled, kAnalytic, kRamp };
+
 /// Canonical textual key covering every field of the kernel configuration
 /// and the architecture that can influence the compilation result. Doubles
 /// are rendered as hex floats, so configs differing in the last ulp get
 /// distinct entries rather than silently sharing a kernel.
 [[nodiscard]] std::string kernel_cache_key(const cgra::BeamKernelConfig& config,
-                                           const cgra::CgraArch& arch);
+                                           const cgra::CgraArch& arch,
+                                           KernelKind kind = KernelKind::kSampled);
 
 class KernelCache {
  public:
@@ -38,7 +46,8 @@ class KernelCache {
   /// single compilation finishes and then share its result. A compilation
   /// failure propagates to every waiter of that round and is not cached.
   [[nodiscard]] std::shared_ptr<const cgra::CompiledKernel> get(
-      const cgra::BeamKernelConfig& config, const cgra::CgraArch& arch);
+      const cgra::BeamKernelConfig& config, const cgra::CgraArch& arch,
+      KernelKind kind = KernelKind::kSampled);
 
   /// Number of compilations actually performed (== distinct keys resolved).
   [[nodiscard]] std::size_t compilations() const noexcept {

@@ -23,16 +23,27 @@
 
 #include "core/parallel.hpp"
 #include "hil/framework.hpp"
+#include "hil/turnloop.hpp"
 #include "sweep/kernel_cache.hpp"
 #include "sweep/metrics.hpp"
 
 namespace citl::sweep {
 
-/// One independent simulation to run: a full framework configuration plus
-/// how long to run it and how to window the metrics.
+/// Which simulation engine executes a scenario.
+enum class ScenarioEngine : std::uint8_t {
+  kSampleAccurate,  ///< hil::Framework — every 250 MHz converter tick
+  kTurnLevel,       ///< hil::TurnLoop — one step per revolution
+};
+
+/// One independent simulation to run: an engine configuration plus how long
+/// to run it and how to window the metrics.
 struct Scenario {
   std::string name;
+  ScenarioEngine engine = ScenarioEngine::kSampleAccurate;
+  /// Engine configuration; `framework` is read for kSampleAccurate,
+  /// `turnloop` for kTurnLevel.
   hil::FrameworkConfig framework;
+  hil::TurnLoopConfig turnloop;
   double duration_s = 20.0e-3;         ///< simulated experiment length
   double f_sync_nominal_hz = 1280.0;   ///< analytic f_s; sets metric windows
   /// Also run a serial many-particle EnsembleTracker under the same stimulus
@@ -65,12 +76,20 @@ struct SweepConfig {
   bool collect_traces = true;
   /// Kernel cache to use; nullptr = a cache private to this run_sweep call.
   KernelCache* cache = nullptr;
+  /// Lane width for batched execution. Scenarios sharing one compiled kernel
+  /// (and engine) are grouped into chunks of up to `batch_lanes` lanes, each
+  /// chunk executed by one BatchedCgraMachine in lockstep; chunks are the
+  /// unit of thread-pool work. 0 or 1 keeps the per-scenario path. Reports
+  /// are byte-identical either way at any lane/thread count (a tested
+  /// invariant).
+  std::size_t batch_lanes = 0;
 };
 
 struct SweepResult {
   std::vector<ScenarioResult> scenarios;  ///< index-aligned with the config
   std::size_t kernel_compilations = 0;    ///< compiles performed by this sweep
   std::size_t distinct_kernels = 0;       ///< distinct keys among scenarios
+  std::size_t batch_chunks = 0;           ///< lockstep chunks (0 = per-scenario)
   double wall_time_s = 0.0;
   unsigned threads_used = 0;
 };

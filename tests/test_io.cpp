@@ -130,7 +130,16 @@ TEST(ParamBus, DefaultsAndRoundTrip) {
   EXPECT_DOUBLE_EQ(bus.get("beam_pulse_scale"), 1.0);
   bus.set("beam_pulse_scale", 0.5);
   EXPECT_DOUBLE_EQ(bus.get("beam_pulse_scale"), 0.5);
-  EXPECT_THROW(bus.get("nope"), std::logic_error);
+  // Unknown registers report through the library's error hierarchy.
+  EXPECT_THROW(bus.get("nope"), citl::Error);
+  EXPECT_THROW(bus.handle("nope"), citl::Error);
+
+  // A handle reads the same storage set() writes, across later insertions.
+  const hil::ParameterBus::Handle h = bus.handle("beam_pulse_scale");
+  bus.set("aaa_added_before", 1.0);
+  bus.set("zzz_added_after", 2.0);
+  bus.set("beam_pulse_scale", 0.25);
+  EXPECT_DOUBLE_EQ(hil::ParameterBus::get(h), 0.25);
 }
 
 TEST(ParamBus, MonitorSelection) {
