@@ -1,0 +1,171 @@
+// Fault subsystem overhead: what the supervised recovery layer and the
+// injector's healthy path cost when nothing is wrong.
+//
+// The robustness layer's contract is "free when idle": with an empty fault
+// plan every injector filter is an identity, and the supervisor's per-turn
+// work is one state snapshot + finiteness scan. This bench pins the price of
+// that contract on the turn-level loop — the fidelity sweeps run at — and
+// measures a full fault episode (reference dropout + recovery) for scale.
+//
+// The summary is written to `BENCH_fault.json` (override with `--out <path>`;
+// `--out -` disables the file).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/units.hpp"
+#include "fault/fault.hpp"
+#include "hil/supervisor.hpp"
+#include "hil/turnloop.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+
+using namespace citl;
+
+namespace {
+
+constexpr std::int64_t kTurns = 4000;  // 5 ms at 800 kHz
+
+hil::TurnLoopConfig loop_config() {
+  hil::TurnLoopConfig config;
+  config.kernel.pipelined = true;
+  config.f_ref_hz = 800.0e3;
+  config.gap_voltage_v = 4860.0;
+  config.jumps = ctrl::PhaseJumpProgramme(deg_to_rad(8.0), 1.0, 0.8e-3);
+  return config;
+}
+
+hil::TurnLoopConfig supervised_config() {
+  hil::TurnLoopConfig config = loop_config();
+  config.supervisor.enabled = true;
+  return config;
+}
+
+hil::TurnLoopConfig dropout_config() {
+  hil::TurnLoopConfig config = supervised_config();
+  fault::FaultSpec drop;
+  drop.kind = fault::FaultKind::kRefDropout;
+  drop.start_tick = kTurns / 4;
+  drop.duration = kTurns / 8;
+  config.faults.entries.push_back(drop);
+  return config;
+}
+
+double seconds_per_run(const hil::TurnLoopConfig& config) {
+  // One timed run outside the google-benchmark loop, for the summary table.
+  hil::TurnLoop loop(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.run(kTurns);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void print_report(const std::string& json_path) {
+  std::printf("fault-subsystem overhead, %lld turn-level revolutions each\n\n",
+              static_cast<long long>(kTurns));
+  const double base_s = seconds_per_run(loop_config());
+  const double sup_s = seconds_per_run(supervised_config());
+  const double drop_s = seconds_per_run(dropout_config());
+  const double sup_pct = base_s > 0.0 ? (sup_s / base_s - 1.0) * 100.0 : 0.0;
+  const double drop_pct = base_s > 0.0 ? (drop_s / base_s - 1.0) * 100.0 : 0.0;
+
+  io::Table t({"configuration", "wall [ms]", "vs healthy"});
+  t.add_row({"healthy, no supervisor", io::Table::num(base_s * 1e3, 4), "-"});
+  t.add_row({"supervisor on, empty plan", io::Table::num(sup_s * 1e3, 4),
+             io::Table::num(sup_pct, 3) + "%"});
+  t.add_row({"supervisor + ref dropout", io::Table::num(drop_s * 1e3, 4),
+             io::Table::num(drop_pct, 3) + "%"});
+  std::printf("%s\n", t.render().c_str());
+
+  if (!json_path.empty()) {
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("benchmark").value(std::string_view("bench_fault"));
+    w.key("turns").value(static_cast<std::uint64_t>(kTurns));
+    w.key("healthy_s").value(base_s);
+    w.key("supervised_s").value(sup_s);
+    w.key("dropout_episode_s").value(drop_s);
+    w.key("supervisor_overhead_pct").value(sup_pct);
+    w.end_object();
+    io::write_text_file(json_path, w.str() + "\n");
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+}
+
+void BM_TurnLoopHealthy(benchmark::State& state) {
+  const hil::TurnLoopConfig config = loop_config();
+  for (auto _ : state) {
+    hil::TurnLoop loop(config);
+    loop.run(kTurns);
+    benchmark::DoNotOptimize(loop.time_s());
+  }
+  state.SetItemsProcessed(state.iterations() * kTurns);
+}
+BENCHMARK(BM_TurnLoopHealthy)->Unit(benchmark::kMillisecond);
+
+void BM_TurnLoopSupervisedHealthy(benchmark::State& state) {
+  // The idle-cost case the byte-identity invariant is about: supervisor on,
+  // no fault ever fires.
+  const hil::TurnLoopConfig config = supervised_config();
+  for (auto _ : state) {
+    hil::TurnLoop loop(config);
+    loop.run(kTurns);
+    benchmark::DoNotOptimize(loop.time_s());
+  }
+  state.SetItemsProcessed(state.iterations() * kTurns);
+}
+BENCHMARK(BM_TurnLoopSupervisedHealthy)->Unit(benchmark::kMillisecond);
+
+void BM_TurnLoopDropoutEpisode(benchmark::State& state) {
+  // A full detection -> hold -> recovery episode (reference dropout for an
+  // eighth of the run).
+  const hil::TurnLoopConfig config = dropout_config();
+  for (auto _ : state) {
+    hil::TurnLoop loop(config);
+    loop.run(kTurns);
+    benchmark::DoNotOptimize(loop.time_s());
+  }
+  state.SetItemsProcessed(state.iterations() * kTurns);
+}
+BENCHMARK(BM_TurnLoopDropoutEpisode)->Unit(benchmark::kMillisecond);
+
+void BM_InjectorHealthyTick(benchmark::State& state) {
+  // Per-tick cost of an armed-but-idle injector: one begin_tick plus the
+  // period filter, outside any window.
+  fault::FaultPlan plan;
+  fault::FaultSpec drop;
+  drop.kind = fault::FaultKind::kRefDropout;
+  drop.start_tick = 1 << 30;  // never reached
+  drop.duration = 1;
+  plan.entries.push_back(drop);
+  fault::FaultInjector inj(plan, 7,
+                           fault::FaultInjector::Host::kTurnLevel);
+  std::int64_t tick = 0;
+  for (auto _ : state) {
+    inj.begin_tick(tick++);
+    benchmark::DoNotOptimize(inj.filter_period_s(1.25e-6));
+  }
+}
+BENCHMARK(BM_InjectorHealthyTick);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_fault.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      json_path = argv[i + 1];
+      if (json_path == "-") json_path.clear();
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  print_report(json_path);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -65,10 +65,10 @@ int main(int argc, char** argv) {
 
   if (!csv_path.empty()) {
     io::write_csv(csv_path,
-                  {{"t_sim_s", r.simulator.time_s},
-                   {"phase_sim_deg", r.simulator.phase_deg},
-                   {"t_ref_s", r.reference.time_s},
-                   {"phase_ref_deg", r.reference.phase_deg}});
+                  {{"t_sim_s", r.simulator.time_s, {}},
+                   {"phase_sim_deg", r.simulator.phase_deg, {}},
+                   {"t_ref_s", r.reference.time_s, {}},
+                   {"phase_ref_deg", r.reference.phase_deg, {}}});
     std::printf("\nwrote %s\n", csv_path.c_str());
   }
   return 0;

@@ -128,6 +128,22 @@ double BatchedCgraMachine::state(StateHandle h, std::size_t lane) const {
   return state_vals_[static_cast<std::size_t>(h.index) * lanes_ + lane];
 }
 
+void BatchedCgraMachine::snapshot_states(std::size_t lane, double* out) const {
+  check_lane(lane);
+  const std::size_t n = state_vals_.size() / (lanes_ > 0 ? lanes_ : 1);
+  for (std::size_t s = 0; s < n; ++s) out[s] = state_vals_[s * lanes_ + lane];
+}
+
+void BatchedCgraMachine::restore_states(std::size_t lane,
+                                        const double* values) {
+  check_lane(lane);
+  // Raw copy, no re-quantise: the image came from snapshot_states() and is
+  // already at working precision, so the round-trip is bit-exact. Only this
+  // lane's column is touched — siblings are unaffected.
+  const std::size_t n = state_vals_.size() / (lanes_ > 0 ? lanes_ : 1);
+  for (std::size_t s = 0; s < n; ++s) state_vals_[s * lanes_ + lane] = values[s];
+}
+
 double BatchedCgraMachine::value(NodeId node, std::size_t lane) const {
   check_lane(lane);
   CITL_CHECK(node >= 0 &&

@@ -76,6 +76,9 @@ class BatchedCgraMachine final : public BeamModel {
   void set_state(StateHandle h, double value, std::size_t lane) override;
   [[nodiscard]] double state(StateHandle h, std::size_t lane) const override;
 
+  void snapshot_states(std::size_t lane, double* out) const override;
+  void restore_states(std::size_t lane, const double* values) override;
+
   /// One functional iteration on every lane; returns the CGRA clock ticks
   /// one iteration occupies (== schedule length).
   unsigned run_iteration_all_lanes() override;

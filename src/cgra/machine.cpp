@@ -132,6 +132,18 @@ double CgraMachine::state(StateHandle h, std::size_t lane) const {
   return state_vals_[static_cast<std::size_t>(h.index)];
 }
 
+void CgraMachine::snapshot_states(std::size_t lane, double* out) const {
+  check_lane(lane);
+  for (std::size_t s = 0; s < state_vals_.size(); ++s) out[s] = state_vals_[s];
+}
+
+void CgraMachine::restore_states(std::size_t lane, const double* values) {
+  check_lane(lane);
+  // Raw copy, no re-quantise: the image came from snapshot_states() and is
+  // already at working precision, so the round-trip is bit-exact.
+  for (std::size_t s = 0; s < state_vals_.size(); ++s) state_vals_[s] = values[s];
+}
+
 void CgraMachine::set_state(StateHandle h, double value, std::size_t lane) {
   check_lane(lane);
   if (!h.valid() ||

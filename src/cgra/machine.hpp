@@ -89,6 +89,19 @@ class BeamModel {
   /// in functional and cycle-accurate execution, a tested invariant).
   virtual unsigned run_iteration_all_lanes() = 0;
 
+  // --- checkpoint hooks (hil::Supervisor guard layer) ---------------------
+  /// Number of loop-carried states — the snapshot image length.
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return kernel().dfg.states().size();
+  }
+  /// Copies one lane's loop-carried state values (by state index) into
+  /// `out[0 .. state_count())`. Pure read: never perturbs execution.
+  virtual void snapshot_states(std::size_t lane, double* out) const = 0;
+  /// Restores one lane's states from a snapshot_states() image, bit-exactly.
+  /// Pipeline registers are not part of the image; after a rollback they
+  /// still hold post-fault values for one iteration.
+  virtual void restore_states(std::size_t lane, const double* values) = 0;
+
   // Handle resolution against this model's kernel.
   [[nodiscard]] ParamHandle param_handle(std::string_view name) const {
     return cgra::param_handle(kernel(), name);
@@ -115,6 +128,9 @@ class CgraMachine final : public BeamModel {
   void set_state(StateHandle h, double value, std::size_t lane = 0) override;
   [[nodiscard]] double state(StateHandle h,
                              std::size_t lane = 0) const override;
+
+  void snapshot_states(std::size_t lane, double* out) const override;
+  void restore_states(std::size_t lane, const double* values) override;
 
   // --- string-keyed access (deprecated wrappers) --------------------------
   // Resolve a handle per call and delegate; fine for consoles and tests,

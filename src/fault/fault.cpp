@@ -1,0 +1,107 @@
+#include "fault/fault.hpp"
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace citl::fault {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kAdcStuckCode: return "adc_stuck_code";
+    case FaultKind::kAdcBitFlip: return "adc_bit_flip";
+    case FaultKind::kAdcDropout: return "adc_dropout";
+    case FaultKind::kRefGlitch: return "ref_glitch";
+    case FaultKind::kRefDropout: return "ref_dropout";
+    case FaultKind::kParamCorruption: return "param_corruption";
+    case FaultKind::kStateCorruption: return "state_corruption";
+    case FaultKind::kStallCycles: return "stall_cycles";
+  }
+  return "unknown";
+}
+
+FaultKind fault_kind_from_string(std::string_view name) {
+  for (const FaultKind kind :
+       {FaultKind::kAdcStuckCode, FaultKind::kAdcBitFlip,
+        FaultKind::kAdcDropout, FaultKind::kRefGlitch, FaultKind::kRefDropout,
+        FaultKind::kParamCorruption, FaultKind::kStateCorruption,
+        FaultKind::kStallCycles}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw ConfigError("unknown fault kind: \"" + std::string(name) + "\"");
+}
+
+namespace {
+
+/// "entry #2 (state_corruption)" — every validation message names the
+/// offending entry this way so a bad campaign is immediately locatable.
+std::string entry_label(const FaultPlan& plan, std::size_t i) {
+  std::string label = "fault plan";
+  if (!plan.name.empty()) label += " \"" + plan.name + "\"";
+  label += " entry #" + std::to_string(i) + " (" +
+           to_string(plan.entries[i].kind) + ")";
+  return label;
+}
+
+[[nodiscard]] bool needs_target(FaultKind kind) noexcept {
+  return kind == FaultKind::kParamCorruption ||
+         kind == FaultKind::kStateCorruption;
+}
+
+/// Two windows conflict only when they act on the same thing: same kind and
+/// same channel (ADC kinds) or same target (param/state kinds).
+[[nodiscard]] bool same_target(const FaultSpec& a, const FaultSpec& b) noexcept {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case FaultKind::kAdcStuckCode:
+    case FaultKind::kAdcBitFlip:
+    case FaultKind::kAdcDropout:
+      return a.channel == b.channel;
+    case FaultKind::kParamCorruption:
+    case FaultKind::kStateCorruption:
+      return a.target == b.target;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+void validate(const FaultPlan& plan) {
+  for (std::size_t i = 0; i < plan.entries.size(); ++i) {
+    const FaultSpec& e = plan.entries[i];
+    if (e.duration <= 0) {
+      throw ConfigError(entry_label(plan, i) +
+                        ": duration must be positive, got " +
+                        std::to_string(e.duration));
+    }
+    if (e.start_tick < 0) {
+      throw ConfigError(entry_label(plan, i) + ": start_tick must be >= 0");
+    }
+    if (e.rate < 0.0 || e.rate > 1.0) {
+      throw ConfigError(entry_label(plan, i) + ": rate must be in [0, 1]");
+    }
+    if (e.bit < -1 || e.bit > 31) {
+      throw ConfigError(entry_label(plan, i) + ": bit must be -1 or in [0, 31]");
+    }
+    if (needs_target(e.kind) && e.target.empty()) {
+      throw ConfigError(entry_label(plan, i) + ": requires a target name");
+    }
+    if (e.kind == FaultKind::kStallCycles && e.value < 1.0) {
+      throw ConfigError(entry_label(plan, i) +
+                        ": value (stall cycles per revolution) must be >= 1");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      const FaultSpec& other = plan.entries[j];
+      if (same_target(e, other) && e.start_tick < other.end_tick() &&
+          other.start_tick < e.end_tick()) {
+        throw ConfigError(entry_label(plan, i) + " overlaps " +
+                          entry_label(plan, j) +
+                          " on the same target — windows of one kind must be "
+                          "disjoint per target");
+      }
+    }
+  }
+}
+
+}  // namespace citl::fault

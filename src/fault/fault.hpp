@@ -1,0 +1,83 @@
+// Deterministic fault injection: what can go wrong, scripted.
+//
+// The paper's test bench exists to exercise the real beam-phase loop against
+// a simulator that keeps producing a valid beam signal no matter what the
+// bench does to it. A FaultPlan makes "what the bench does" a first-class,
+// replayable artifact: a list of fault windows, each naming a kind, a target
+// and a seed, injected at the same seams the hardware would fail at — the
+// converter codes, the reference tap, the parameter registers, the CGRA
+// state bits and the real-time budget. Every fault draws randomness from its
+// own citl::Rng stream, so a campaign replays bit-identically for a fixed
+// seed at any thread or lane count (the same contract every sweep obeys,
+// docs/ROBUSTNESS.md).
+//
+// The plan is pure data; fault::FaultInjector (injector.hpp) interprets it
+// inside hil::Framework / hil::TurnLoop, and hil::Supervisor provides the
+// reactive half (detection, degradation, recovery).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace citl::fault {
+
+/// What a fault window does while it is active.
+enum class FaultKind : std::uint8_t {
+  kAdcStuckCode,     ///< ADC channel outputs a fixed code (`value`)
+  kAdcBitFlip,       ///< random bit flips in the ADC code (prob `rate`/sample)
+  kAdcDropout,       ///< ADC channel outputs code 0
+  kRefGlitch,        ///< reference tap jitters (gaussian, sigma `value`)
+  kRefDropout,       ///< reference signal dies
+  kParamCorruption,  ///< parameter register `target` overwritten with `value`
+  kStateCorruption,  ///< SEU bit flip in CGRA state `target` (bit `bit`)
+  kStallCycles,      ///< `value` extra CGRA cycles per revolution
+};
+
+/// Which converter channel an ADC fault hits.
+enum class FaultChannel : std::uint8_t { kReference, kGap };
+
+/// One fault window. `start_tick`/`duration` are in the host loop's native
+/// unit: converter ticks for the sample-accurate framework, turns for the
+/// turn loop (a window in turns would never clear while a reference dropout
+/// stalls the turn counter; the converter clock always advances).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kAdcDropout;
+  std::int64_t start_tick = 0;
+  std::int64_t duration = 0;           ///< window length; must be positive
+  FaultChannel channel = FaultChannel::kReference;  ///< ADC kinds only
+  std::string target;                  ///< param register / state name
+  double value = 0.0;                  ///< stuck code / corruption / sigma
+  double rate = 1.0;                   ///< per-tick event probability [0, 1]
+  int bit = -1;                        ///< bit to flip; -1 = drawn per event
+  std::uint64_t seed = 0;              ///< this fault's private RNG stream
+
+  [[nodiscard]] std::int64_t end_tick() const noexcept {
+    return start_tick + duration;
+  }
+  [[nodiscard]] bool active_at(std::int64_t t) const noexcept {
+    return t >= start_tick && t < end_tick();
+  }
+};
+
+/// A named, validated list of fault windows — one bench campaign entry.
+struct FaultPlan {
+  std::string name;                    ///< campaign label (scenario names)
+  std::vector<FaultSpec> entries;
+
+  [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+/// Parses a fault kind name ("adc_stuck_code", "ref_dropout", ...). Throws
+/// citl::ConfigError naming the unknown kind.
+[[nodiscard]] FaultKind fault_kind_from_string(std::string_view name);
+
+/// Validates a plan: positive durations, rates in [0, 1], bit indices in
+/// range, targets present where the kind needs one, and no two windows of
+/// the same kind overlapping on the same channel/target. Throws
+/// citl::ConfigError naming the offending entry (index and kind).
+void validate(const FaultPlan& plan);
+
+}  // namespace citl::fault

@@ -1,0 +1,183 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace citl::fault {
+
+namespace {
+
+/// Mixes the entry's own seed with the host's stream seed (the same golden-
+/// ratio idiom the framework uses for its ADC noise channels): a campaign
+/// decorrelates across sweep scenarios yet replays exactly per (plan, seed).
+std::uint64_t entry_stream(std::uint64_t entry_seed,
+                           std::uint64_t stream_seed) noexcept {
+  return entry_seed ^ (stream_seed * 0x9e3779b97f4a7c15ull) ^
+         0x5851f42d4c957f2dull;
+}
+
+[[nodiscard]] bool framework_only(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kAdcStuckCode:
+    case FaultKind::kAdcBitFlip:
+    case FaultKind::kAdcDropout:
+    case FaultKind::kParamCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string entry_label(const FaultPlan& plan, std::size_t i) {
+  std::string label = "fault plan";
+  if (!plan.name.empty()) label += " \"" + plan.name + "\"";
+  label += " entry #" + std::to_string(i) + " (" +
+           to_string(plan.entries[i].kind) + ")";
+  return label;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t stream_seed,
+                             Host host)
+    : plan_(plan) {
+  validate(plan_);
+  entries_.reserve(plan_.entries.size());
+  for (std::size_t i = 0; i < plan_.entries.size(); ++i) {
+    const FaultSpec& spec = plan_.entries[i];
+    if (host == Host::kTurnLevel && framework_only(spec.kind)) {
+      throw ConfigError(entry_label(plan_, i) +
+                        ": this kind acts on converter codes or parameter "
+                        "registers and requires the sample-accurate framework");
+    }
+    entries_.push_back(
+        Entry{spec, Rng(entry_stream(spec.seed, stream_seed)), {}, false});
+  }
+}
+
+void FaultInjector::resolve_targets(const cgra::CompiledKernel& kernel) {
+  for (Entry& e : entries_) {
+    if (e.spec.kind == FaultKind::kStateCorruption) {
+      e.state = cgra::state_handle(kernel, e.spec.target);
+    }
+  }
+}
+
+void FaultInjector::throw_bad_param_target(std::size_t index) const {
+  throw ConfigError(entry_label(plan_, index) +
+                    ": no parameter register named \"" +
+                    plan_.entries[index].target + "\"");
+}
+
+void FaultInjector::begin_tick(std::int64_t tick) {
+  n_active_ = 0;
+  stall_cycles_ = 0;
+  active_params_.clear();
+  for (Entry& e : entries_) {
+    const bool active = e.spec.active_at(tick);
+    if (active && !e.active) ++windows_entered_;
+    e.active = active;
+    if (!active) continue;
+    ++n_active_;
+    if (e.spec.kind == FaultKind::kStallCycles) {
+      stall_cycles_ += static_cast<unsigned>(e.spec.value);
+    } else if (e.spec.kind == FaultKind::kParamCorruption) {
+      active_params_.push_back(&e.spec);
+    }
+  }
+}
+
+int FaultInjector::filter_adc_code(FaultChannel channel, int code,
+                                   unsigned bits, int min_code, int max_code) {
+  if (n_active_ == 0) return code;
+  for (Entry& e : entries_) {
+    if (!e.active || e.spec.channel != channel) continue;
+    switch (e.spec.kind) {
+      case FaultKind::kAdcStuckCode:
+        code = static_cast<int>(e.spec.value);
+        ++events_;
+        break;
+      case FaultKind::kAdcDropout:
+        code = 0;
+        ++events_;
+        break;
+      case FaultKind::kAdcBitFlip: {
+        if (e.spec.rate >= 1.0 || e.rng.uniform() < e.spec.rate) {
+          const unsigned b =
+              e.spec.bit >= 0
+                  ? static_cast<unsigned>(e.spec.bit) % bits
+                  : static_cast<unsigned>(e.rng.next_u64() % bits);
+          // Flip one bit of the two's-complement word at converter width,
+          // then sign-extend — exactly what a corrupted LVDS lane does.
+          const std::uint32_t mask = (1u << bits) - 1u;
+          std::uint32_t word =
+              (static_cast<std::uint32_t>(code) & mask) ^ (1u << b);
+          code = (word & (1u << (bits - 1)))
+                     ? static_cast<int>(word | ~mask)
+                     : static_cast<int>(word);
+          ++events_;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return std::clamp(code, min_code, max_code);
+}
+
+double FaultInjector::filter_reference_v(double volts) {
+  if (n_active_ == 0) return volts;
+  for (Entry& e : entries_) {
+    if (!e.active) continue;
+    if (e.spec.kind == FaultKind::kRefDropout) {
+      volts = 0.0;
+    } else if (e.spec.kind == FaultKind::kRefGlitch) {
+      volts += e.rng.gaussian(0.0, e.spec.value);
+      ++events_;
+    }
+  }
+  return volts;
+}
+
+double FaultInjector::filter_period_s(double period_s) {
+  if (n_active_ == 0) return period_s;
+  for (Entry& e : entries_) {
+    if (!e.active) continue;
+    if (e.spec.kind == FaultKind::kRefDropout) {
+      period_s = std::numeric_limits<double>::quiet_NaN();
+    } else if (e.spec.kind == FaultKind::kRefGlitch) {
+      period_s *= 1.0 + e.rng.gaussian(0.0, e.spec.value);
+      ++events_;
+    }
+  }
+  return period_s;
+}
+
+void FaultInjector::apply_state_faults(cgra::BeamModel& model,
+                                       std::size_t lane) {
+  if (n_active_ == 0) return;
+  for (Entry& e : entries_) {
+    if (!e.active || e.spec.kind != FaultKind::kStateCorruption) continue;
+    if (e.spec.rate < 1.0 && e.rng.uniform() >= e.spec.rate) continue;
+    // SEU model: one bit of the binary32 state word flips. The machine
+    // stores states at binary32 precision, so the float round-trip is exact.
+    const auto value = static_cast<float>(model.state(e.state, lane));
+    const unsigned b = e.spec.bit >= 0
+                           ? static_cast<unsigned>(e.spec.bit)
+                           : static_cast<unsigned>(e.rng.next_u64() % 32u);
+    const std::uint32_t word = std::bit_cast<std::uint32_t>(value) ^ (1u << b);
+    model.set_state(e.state, static_cast<double>(std::bit_cast<float>(word)),
+                    lane);
+    ++events_;
+  }
+}
+
+unsigned FaultInjector::stall_cycles() const noexcept { return stall_cycles_; }
+
+}  // namespace citl::fault

@@ -1,0 +1,116 @@
+// FaultInjector: interprets a FaultPlan inside a HIL loop.
+//
+// The injector is the active half of the fault subsystem: the host loop
+// advances its fault clock once per native tick (converter tick in
+// hil::Framework, turn in hil::TurnLoop) and routes the signals it already
+// produces through the injector's filters. On the healthy path — no window
+// active — every filter is an identity, so an empty plan leaves the loop
+// byte-identical to a build without the injector (a tested invariant).
+//
+// Determinism: each entry owns a private Rng derived from (entry seed,
+// stream seed); randomness is consumed only while that entry's window is
+// active and only from the single loop thread, so a campaign replays
+// bit-identically for a fixed seed at any thread or lane count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cgra/machine.hpp"
+#include "core/random.hpp"
+#include "fault/fault.hpp"
+
+namespace citl::fault {
+
+class FaultInjector {
+ public:
+  /// Which loop hosts the injector; some kinds only exist at one fidelity
+  /// (ADC codes and parameter registers are framework seams).
+  enum class Host : std::uint8_t { kSampleAccurate, kTurnLevel };
+
+  /// Validates the plan (fault.hpp) plus host compatibility; throws
+  /// citl::ConfigError naming the offending entry. `stream_seed` is the host
+  /// loop's noise seed, decorrelating campaigns across sweep scenarios.
+  FaultInjector(const FaultPlan& plan, std::uint64_t stream_seed, Host host);
+
+  /// Resolves state-corruption targets against the kernel; throws
+  /// citl::ConfigError (via cgra::state_handle) naming kernel and key.
+  void resolve_targets(const cgra::CompiledKernel& kernel);
+
+  /// Advances the fault clock; opens/closes windows. Must be called once per
+  /// host tick with a non-decreasing tick value.
+  void begin_tick(std::int64_t tick);
+
+  /// ADC-code fault filter (stuck code, bit flips, dropout) for `channel`.
+  /// `bits` is the converter resolution; the result is clamped to
+  /// [min_code, max_code]. Identity when no ADC window is active.
+  [[nodiscard]] int filter_adc_code(FaultChannel channel, int code,
+                                    unsigned bits, int min_code, int max_code);
+
+  /// Reference-tap fault filter on the analogue reference voltage
+  /// (sample-accurate host): dropout kills it, glitch adds gaussian noise.
+  [[nodiscard]] double filter_reference_v(double volts);
+
+  /// Reference-tap fault filter on the measured period (turn-level host):
+  /// dropout returns NaN (the supervisor's watchdog holds the last valid
+  /// period), glitch applies relative gaussian jitter of sigma `value`.
+  [[nodiscard]] double filter_period_s(double period_s);
+
+  /// Applies active state-corruption windows to `lane` of `model`: flips one
+  /// bit of the binary32 representation of the target state per event.
+  void apply_state_faults(cgra::BeamModel& model, std::size_t lane);
+
+  /// Extra CGRA cycles the active stall windows add to this revolution.
+  [[nodiscard]] unsigned stall_cycles() const noexcept;
+
+  /// Active parameter-corruption windows this tick (empty on healthy ticks);
+  /// the framework writes spec.value into register spec.target for each.
+  [[nodiscard]] const std::vector<const FaultSpec*>& active_param_corruptions()
+      const noexcept {
+    return active_params_;
+  }
+
+  /// Calls `pred(target)` for every parameter-corruption entry; throws
+  /// citl::ConfigError naming the entry when the predicate rejects the
+  /// target. Lets the framework validate against its register file without a
+  /// dependency from fault/ onto hil/.
+  template <typename Pred>
+  void validate_param_targets(Pred&& pred) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const FaultSpec& spec = entries_[i].spec;
+      if (spec.kind == FaultKind::kParamCorruption && !pred(spec.target)) {
+        throw_bad_param_target(i);
+      }
+    }
+  }
+
+  // --- counters -----------------------------------------------------------
+  /// Fault windows entered so far (the report's "faults injected").
+  [[nodiscard]] std::int64_t windows_entered() const noexcept {
+    return windows_entered_;
+  }
+  /// Individual corruption events applied (samples corrupted, bits flipped).
+  [[nodiscard]] std::int64_t events() const noexcept { return events_; }
+  [[nodiscard]] bool any_active() const noexcept { return n_active_ > 0; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct Entry {
+    FaultSpec spec;
+    Rng rng;
+    cgra::StateHandle state;  ///< resolved for kStateCorruption entries
+    bool active = false;
+  };
+
+  [[noreturn]] void throw_bad_param_target(std::size_t index) const;
+
+  FaultPlan plan_;
+  std::vector<Entry> entries_;
+  std::vector<const FaultSpec*> active_params_;
+  std::size_t n_active_ = 0;
+  unsigned stall_cycles_ = 0;
+  std::int64_t windows_entered_ = 0;
+  std::int64_t events_ = 0;
+};
+
+}  // namespace citl::fault

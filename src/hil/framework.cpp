@@ -20,9 +20,11 @@ class Framework::FrameworkBus final : public cgra::SensorBus {
   double read(cgra::SensorRegion region, double offset) override {
     switch (region) {
       case cgra::SensorRegion::kPeriod:
-        return offset < 0.5
-                   ? fw_.period_det_.period_seconds(kSampleClock)
-                   : 1.0 / fw_.period_det_.period_seconds(kSampleClock);
+        // The revolution's working period, latched (and watchdog-filtered)
+        // by run_cgra() before the kernel executes — identical to reading
+        // the detector directly on the healthy path.
+        return offset < 0.5 ? fw_.current_period_s_
+                            : 1.0 / fw_.current_period_s_;
       case cgra::SensorRegion::kRefBuf:
         return buffered_read(fw_.ref_buf_, offset);
       case cgra::SensorRegion::kGapBuf:
@@ -39,6 +41,22 @@ class Framework::FrameworkBus final : public cgra::SensorBus {
         // `value` is the bunch's arrival time relative to the zero crossing
         // [s]; arm the Gauss pulse for the *next* passage (§III-B).
         const auto bunch = static_cast<int>(offset + 0.5);
+        if (fw_.supervisor_ != nullptr && !std::isfinite(value)) {
+          // Output guard: a corrupted kernel must not take the beam signal
+          // down — substitute the bunch's last good arrival.
+          fw_.supervisor_->note_nonfinite_output();
+          const auto b = static_cast<std::size_t>(bunch);
+          if (b < fw_.last_arrivals_.size() && fw_.arrival_seen_[b]) {
+            value = fw_.last_arrivals_[b];
+          } else {
+            return;  // no good value yet: drop the pulse, keep running
+          }
+        }
+        if (const auto b = static_cast<std::size_t>(bunch);
+            b < fw_.last_arrivals_.size()) {
+          fw_.last_arrivals_[b] = value;
+          fw_.arrival_seen_[b] = true;
+        }
         const double fs = kSampleClock.frequency_hz();
         const double period_ticks = fw_.period_det_.period_ticks();
         const double bucket_ticks =
@@ -141,8 +159,28 @@ Framework::Framework(const FrameworkConfig& config,
   CITL_CHECK_MSG(kernel_ != nullptr, "Framework needs a compiled kernel");
   bus_ = std::make_unique<FrameworkBus>(*this);
   machine_ = std::make_unique<cgra::CgraMachine>(*kernel_, *bus_);
+  exec_model_ = machine_.get();
   control_on_ = config.control_enabled;
   last_phase_ = std::numeric_limits<double>::quiet_NaN();
+
+  const auto n_bunches =
+      static_cast<std::size_t>(std::max(config.kernel.n_bunches, 1));
+  last_arrivals_.assign(n_bunches, 0.0);
+  arrival_seen_.assign(n_bunches, false);
+
+  if (!config.faults.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        config.faults, config.noise_seed,
+        fault::FaultInjector::Host::kSampleAccurate);
+    injector_->resolve_targets(*kernel_);
+    injector_->validate_param_targets(
+        [this](const std::string& target) { return params_.has(target); });
+  }
+  if (config.supervisor.enabled) {
+    supervisor_ = std::make_unique<Supervisor>(config.supervisor);
+    supervisor_->attach_model(*machine_, 0);
+    supervisor_->attach_params(params_);
+  }
 
   obs::Registry& reg = obs::Registry::global();
   obs_revolutions_ = &reg.counter("hil.revolutions");
@@ -178,9 +216,48 @@ void Framework::account_cgra_run(unsigned exec_cycles, double budget_cycles,
   }
 }
 
+void Framework::post_turn() {
+  if (injector_ != nullptr && exec_model_ != nullptr) {
+    injector_->apply_state_faults(*exec_model_, exec_lane_);
+  }
+  if (supervisor_ != nullptr) supervisor_->end_turn();
+}
+
 void Framework::run_cgra() {
-  const double budget_cycles =
-      period_det_.period_seconds(kSampleClock) * kernel_->arch.clock_hz;
+  const double raw_period_s = period_det_.period_seconds(kSampleClock);
+  current_period_s_ = supervisor_ != nullptr
+                          ? supervisor_->filter_period(raw_period_s)
+                          : raw_period_s;
+  const double budget_cycles = current_period_s_ * kernel_->arch.clock_hz;
+  const unsigned stall =
+      injector_ != nullptr ? injector_->stall_cycles() : 0;
+
+  if (supervisor_ != nullptr) {
+    // Deadline policy: the planned execution (schedule plus injected stall)
+    // is known before the revolution runs, exactly like the static schedule
+    // analysis in hardware.
+    const double planned =
+        static_cast<double>(kernel_->schedule.length) + stall;
+    if (planned > budget_cycles) {
+      switch (supervisor_->on_deadline_overrun()) {
+        case DeadlinePolicy::kObserve:
+          break;  // legacy behavior: count it, run anyway
+        case DeadlinePolicy::kSkipTurn:
+        case DeadlinePolicy::kAbort:
+          account_cgra_run(static_cast<unsigned>(planned), budget_cycles,
+                           time_s());
+          post_turn();
+          return;
+        case DeadlinePolicy::kHoldOutputs:
+          replay_actuator_writes();
+          account_cgra_run(static_cast<unsigned>(planned), budget_cycles,
+                           time_s());
+          post_turn();
+          return;
+      }
+    }
+  }
+
   if (cgra_deferred_) {
     // Batched mode: park the request. Budget and timestamp are captured now
     // so complete_cgra_run() accounts exactly what the owned path would.
@@ -189,6 +266,7 @@ void Framework::run_cgra() {
     cgra_pending_ = true;
     pending_budget_cycles_ = budget_cycles;
     pending_time_s_ = time_s();
+    pending_stall_cycles_ = stall;
     return;
   }
   CITL_TRACE_SPAN("hil.cgra_revolution");
@@ -198,21 +276,42 @@ void Framework::run_cgra() {
   } else {
     machine_->run_iteration();
   }
-  account_cgra_run(exec_cycles, budget_cycles, time_s());
+  account_cgra_run(exec_cycles + stall, budget_cycles, time_s());
+  post_turn();
 }
 
 cgra::SensorBus& Framework::cgra_bus() noexcept { return *bus_; }
 
 bool Framework::run_until_cgra_request(std::int64_t max_ticks) {
   CITL_CHECK_MSG(!cgra_pending_, "pending CGRA request not completed");
-  for (std::int64_t i = 0; i < max_ticks && !cgra_pending_; ++i) tick();
+  for (std::int64_t i = 0; i < max_ticks && !cgra_pending_ && !aborted(); ++i) {
+    tick();
+  }
   return cgra_pending_;
 }
 
 void Framework::complete_cgra_run(unsigned exec_cycles) {
   CITL_CHECK_MSG(cgra_pending_, "no CGRA request to complete");
   cgra_pending_ = false;
-  account_cgra_run(exec_cycles, pending_budget_cycles_, pending_time_s_);
+  account_cgra_run(exec_cycles + pending_stall_cycles_,
+                   pending_budget_cycles_, pending_time_s_);
+  pending_stall_cycles_ = 0;
+  post_turn();
+}
+
+void Framework::attach_cgra_model(cgra::BeamModel& model, std::size_t lane) {
+  exec_model_ = &model;
+  exec_lane_ = lane;
+  if (supervisor_ != nullptr) supervisor_->attach_model(model, lane);
+}
+
+void Framework::replay_actuator_writes() {
+  for (std::size_t b = 0; b < last_arrivals_.size(); ++b) {
+    if (arrival_seen_[b]) {
+      bus_->write(cgra::SensorRegion::kActuator, static_cast<double>(b),
+                  last_arrivals_[b]);
+    }
+  }
 }
 
 void Framework::on_reference_crossing() {
@@ -235,6 +334,19 @@ void Framework::on_reference_crossing() {
   run_cgra();
 }
 
+void Framework::synthetic_reference_crossing() {
+  // The reference died (no crossing for watchdog_timeout_periods): the beam
+  // signal must never stop (§III), so the supervisor schedules revolutions
+  // on the held period. The period detector is NOT fed — its average stays
+  // pinned at the last measured value until real crossings return.
+  supervisor_->note_reference_loss();
+  prev_crossing_tick_ = last_crossing_tick_;
+  last_crossing_tick_ += period_det_.period_ticks();
+  phase_det_.set_reference(last_crossing_tick_, period_det_.period_ticks());
+  iq_det_.set_reference(last_crossing_tick_, period_det_.period_ticks());
+  run_cgra();
+}
+
 void Framework::handle_phase_sample(const ctrl::PhaseSample& sample) {
   last_phase_ = sample.phase_rad;
   obs_phase_samples_->add();
@@ -254,12 +366,21 @@ void Framework::handle_phase_sample(const ctrl::PhaseSample& sample) {
 }
 
 FrameworkOutputs Framework::tick() {
+  // 0. Fault clock: open/close windows, apply parameter-register corruption.
+  if (injector_ != nullptr) {
+    injector_->begin_tick(static_cast<std::int64_t>(now_));
+    for (const fault::FaultSpec* spec :
+         injector_->active_param_corruptions()) {
+      params_.set(spec->target, spec->value);
+    }
+  }
+
   // 1. Stimulus generation. The gap DDS phase port carries the AWG jump
   //    programme plus the integrated controller correction (Fig. 4).
   const double jump =
       config_.jumps ? config_.jumps->phase_rad(time_s()) : 0.0;
   gap_dds_.set_phase_offset(jump + ctrl_phase_rad_);
-  const double ref_v = ref_dds_.tick();
+  double ref_v = ref_dds_.tick();
   double gap_v = gap_dds_.tick();
   if (config_.gap_h2_ratio != 0.0) {
     // The second cavity is phase-locked to the fundamental: a shift of θ at
@@ -268,13 +389,38 @@ FrameworkOutputs Framework::tick() {
                                config_.gap_h2_phase_rad);
     gap_v += gap2_dds_.tick();
   }
+  if (injector_ != nullptr) ref_v = injector_->filter_reference_v(ref_v);
 
   // 2. Acquisition: ADC -> capture buffers; detectors on the ref channel.
-  const double ref_q = adc_ref_.sample(ref_v);
-  const double gap_q = adc_gap_.sample(gap_v);
+  // Codes pass through the fault filter between converter and fabric — the
+  // seam a broken LVDS lane corrupts. sample() == sample_code() * LSB by
+  // definition, so the healthy path is byte-identical.
+  double ref_q;
+  double gap_q;
+  if (injector_ != nullptr) {
+    const int ref_code = injector_->filter_adc_code(
+        fault::FaultChannel::kReference, adc_ref_.sample_code(ref_v),
+        adc_ref_.bits(), adc_ref_.min_code(), adc_ref_.max_code());
+    const int gap_code = injector_->filter_adc_code(
+        fault::FaultChannel::kGap, adc_gap_.sample_code(gap_v),
+        adc_gap_.bits(), adc_gap_.min_code(), adc_gap_.max_code());
+    ref_q = static_cast<double>(ref_code) * adc_ref_.lsb_v();
+    gap_q = static_cast<double>(gap_code) * adc_gap_.lsb_v();
+  } else {
+    ref_q = adc_ref_.sample(ref_v);
+    gap_q = adc_gap_.sample(gap_v);
+  }
   ref_buf_.write(now_, ref_q);
   gap_buf_.write(now_, gap_q);
-  if (zero_cross_.feed(now_, ref_q)) on_reference_crossing();
+  if (zero_cross_.feed(now_, ref_q)) {
+    on_reference_crossing();
+  } else if (supervisor_ != nullptr && initialised_ && !cgra_pending_ &&
+             period_det_.period_ticks() > 0.0 &&
+             static_cast<double>(now_) - last_crossing_tick_ >
+                 config_.supervisor.watchdog_timeout_periods *
+                     period_det_.period_ticks()) {
+    synthetic_reference_crossing();
+  }
 
   // 3. Beam-signal synthesis.
   const double beam_raw = pulse_gen_.sample(now_);
@@ -311,7 +457,7 @@ FrameworkOutputs Framework::tick() {
 }
 
 void Framework::run_ticks(std::int64_t ticks) {
-  for (std::int64_t i = 0; i < ticks; ++i) tick();
+  for (std::int64_t i = 0; i < ticks && !aborted(); ++i) tick();
 }
 
 void Framework::run_seconds(double seconds) {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "cgra/kernels.hpp"
 #include "cgra/machine.hpp"
@@ -29,8 +30,11 @@
 #include "ctrl/jump.hpp"
 #include "ctrl/iqdetector.hpp"
 #include "ctrl/phasedetector.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "hil/parambus.hpp"
 #include "hil/recorder.hpp"
+#include "hil/supervisor.hpp"
 #include "obs/deadline.hpp"
 #include "sig/converters.hpp"
 #include "sig/dds.hpp"
@@ -78,6 +82,12 @@ struct FrameworkConfig {
   ctrl::ControllerConfig controller;
   std::optional<ctrl::PhaseJumpProgramme> jumps;
   bool cycle_accurate_cgra = false;
+  /// Scripted fault campaign, in converter ticks (empty = healthy run; the
+  /// loop is byte-identical to a build without the injector).
+  fault::FaultPlan faults;
+  /// Supervised recovery layer (disabled by default; enabling it with no
+  /// fault active leaves outputs byte-identical — a tested invariant).
+  SupervisorConfig supervisor;
 };
 
 /// Observable outputs of one converter tick.
@@ -138,6 +148,25 @@ class Framework {
   /// lane; performs the same deadline accounting the owned path does.
   void complete_cgra_run(unsigned exec_cycles);
 
+  /// Points the injector's state faults and the supervisor's state guard at
+  /// the model that actually executes this framework's kernel — call after
+  /// attaching the bus to lane `lane` of a batched machine. The owned
+  /// CgraMachine (lane 0) is the default.
+  void attach_cgra_model(cgra::BeamModel& model, std::size_t lane);
+
+  /// The fault injector driving this run (nullptr on a fault-free run).
+  [[nodiscard]] const fault::FaultInjector* injector() const noexcept {
+    return injector_.get();
+  }
+  /// The supervised recovery layer (nullptr unless config.supervisor.enabled).
+  [[nodiscard]] const Supervisor* supervisor() const noexcept {
+    return supervisor_.get();
+  }
+  /// True once the supervisor's kAbort deadline policy stopped the run.
+  [[nodiscard]] bool aborted() const noexcept {
+    return supervisor_ != nullptr && supervisor_->abort_requested();
+  }
+
   [[nodiscard]] Tick now() const noexcept { return now_; }
   [[nodiscard]] double time_s() const noexcept;
   [[nodiscard]] bool initialised() const noexcept { return initialised_; }
@@ -188,15 +217,25 @@ class Framework {
  private:
   class FrameworkBus;
   void on_reference_crossing();
+  void synthetic_reference_crossing();
   void run_cgra();
   void account_cgra_run(unsigned exec_cycles, double budget_cycles,
                         double when_s);
+  /// Post-revolution hooks shared by the serial, skipped/held and deferred
+  /// completion paths: injected state faults, then the supervisor pass.
+  void post_turn();
+  /// Re-issues the last good actuator writes (kHoldOutputs deadline policy).
+  void replay_actuator_writes();
   void handle_phase_sample(const ctrl::PhaseSample& sample);
 
   FrameworkConfig config_;
   std::shared_ptr<const cgra::CompiledKernel> kernel_;
   std::unique_ptr<FrameworkBus> bus_;
   std::unique_ptr<cgra::CgraMachine> machine_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<Supervisor> supervisor_;
+  cgra::BeamModel* exec_model_ = nullptr;  ///< model executing this lane
+  std::size_t exec_lane_ = 0;
 
   sig::Dds ref_dds_;
   sig::Dds gap_dds_;
@@ -221,6 +260,9 @@ class Framework {
   bool control_on_ = true;
   double prev_crossing_tick_ = 0.0;
   double last_crossing_tick_ = 0.0;
+  /// Period the current revolution runs on (watchdog-filtered when the
+  /// supervisor is enabled); the kernel's kPeriod reads serve this value.
+  double current_period_s_ = 0.0;
   double ctrl_phase_rad_ = 0.0;
   double correction_hz_ = 0.0;
   double last_phase_ = 0.0;
@@ -235,6 +277,12 @@ class Framework {
   bool cgra_pending_ = false;
   double pending_budget_cycles_ = 0.0;
   double pending_time_s_ = 0.0;
+  unsigned pending_stall_cycles_ = 0;
+
+  // Last actuator write per bunch, for the kHoldOutputs deadline policy and
+  // the non-finite output guard.
+  std::vector<double> last_arrivals_;
+  std::vector<bool> arrival_seen_;
 
   // Parameter-bus handles for the per-tick registers (resolved once; the
   // string API remains for interactive use).

@@ -1,0 +1,193 @@
+#include "hil/supervisor.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace citl::hil {
+
+Supervisor::Supervisor(const SupervisorConfig& config) : config_(config) {
+  CITL_CHECK_MSG(config.checkpoint_interval_turns > 0,
+                 "checkpoint interval must be positive");
+  CITL_CHECK_MSG(config.period_tolerance > 0.0,
+                 "period tolerance must be positive");
+  obs::Registry& reg = obs::Registry::global();
+  obs_detections_ = &reg.counter("supervisor.faults_detected");
+  obs_recoveries_ = &reg.counter("supervisor.recoveries");
+  obs_rollbacks_ = &reg.counter("supervisor.rollbacks");
+}
+
+void Supervisor::attach_model(cgra::BeamModel& model, std::size_t lane) {
+  CITL_CHECK_MSG(lane < model.lanes(), "supervisor lane out of range");
+  model_ = &model;
+  lane_ = lane;
+  const std::size_t n = model.state_count();
+  checkpoint_.resize(n);
+  scratch_.resize(n);
+  model.snapshot_states(lane, checkpoint_.data());
+}
+
+void Supervisor::attach_params(ParameterBus& bus) {
+  params_ = &bus;
+  shadow_.clear();
+  for (const auto& [name, value] : bus.registers()) {
+    shadow_.push_back(ShadowReg{name, bus.handle(name), value});
+  }
+}
+
+void Supervisor::note_param_write(const std::string& name, double value) {
+  for (ShadowReg& reg : shadow_) {
+    if (reg.name == name) {
+      reg.good = value;
+      return;
+    }
+  }
+}
+
+void Supervisor::detect() {
+  dirty_ = true;
+  if (!episode_active_) {
+    episode_active_ = true;
+    episode_start_turn_ = stats_.checked_turns;
+    ++stats_.faults_detected;
+    obs_detections_->add();
+    obs::Tracer::global().instant("supervisor.fault_detected");
+  }
+}
+
+double Supervisor::filter_period(double measured_s) {
+  if (!std::isfinite(measured_s) || measured_s <= 0.0) {
+    // The reference measurement died. Hold the last valid period if we have
+    // one; before the first valid measurement there is nothing to hold and
+    // the caller's init gating copes.
+    if (held_period_s_ > 0.0) {
+      detect();
+      ref_lost_ = true;
+      ++stats_.held_periods;
+      return held_period_s_;
+    }
+    return measured_s;
+  }
+  if (held_period_s_ > 0.0 &&
+      std::abs(measured_s - held_period_s_) >
+          config_.period_tolerance * held_period_s_) {
+    // A measurement this far off the running value is a glitch (or the
+    // poisoned average right after the reference returns): hold. But a
+    // *streak* of finite measurements that agree with each other while
+    // disagreeing with the held value means the held value is the stale one
+    // — re-lock instead of rejecting the healthy reference forever.
+    if (relock_candidate_s_ > 0.0 &&
+        std::abs(measured_s - relock_candidate_s_) <=
+            config_.period_tolerance * relock_candidate_s_) {
+      ++relock_streak_;
+    } else {
+      relock_candidate_s_ = measured_s;
+      relock_streak_ = 1;
+    }
+    if (relock_streak_ < std::max(1, config_.relock_measurements)) {
+      detect();
+      ref_lost_ = true;
+      ++stats_.held_periods;
+      return held_period_s_;
+    }
+  }
+  ref_lost_ = false;
+  relock_candidate_s_ = 0.0;
+  relock_streak_ = 0;
+  held_period_s_ = measured_s;
+  return measured_s;
+}
+
+void Supervisor::note_reference_loss() {
+  detect();
+  ref_lost_ = true;
+  ++stats_.held_periods;
+}
+
+void Supervisor::note_nonfinite_output() {
+  detect();
+  ++stats_.nonfinite_outputs;
+}
+
+DeadlinePolicy Supervisor::on_deadline_overrun() {
+  switch (config_.deadline_policy) {
+    case DeadlinePolicy::kObserve:
+      // Legacy behavior: the profiler and the violation counter already
+      // record it; no action, no episode.
+      break;
+    case DeadlinePolicy::kSkipTurn:
+      detect();
+      ++stats_.skipped_turns;
+      break;
+    case DeadlinePolicy::kHoldOutputs:
+      detect();
+      ++stats_.held_turns;
+      break;
+    case DeadlinePolicy::kAbort:
+      detect();
+      abort_ = true;
+      break;
+  }
+  return config_.deadline_policy;
+}
+
+void Supervisor::end_turn() {
+  ++stats_.checked_turns;
+
+  // State guard: every loop-carried state must be finite and plausible;
+  // otherwise the lane rolls back to the last checkpoint. A clean turn on a
+  // checkpoint boundary refreshes the checkpoint instead.
+  if (model_ != nullptr) {
+    model_->snapshot_states(lane_, scratch_.data());
+    bool bad = false;
+    for (const double v : scratch_) {
+      if (!std::isfinite(v) || std::abs(v) > config_.max_abs_state) {
+        bad = true;
+        break;
+      }
+    }
+    if (bad) {
+      detect();
+      ++stats_.rollbacks;
+      obs_rollbacks_->add();
+      obs::Tracer::global().instant("supervisor.rollback");
+      model_->restore_states(lane_, checkpoint_.data());
+    } else {
+      ++stats_.finite_turns;
+      if (stats_.checked_turns % config_.checkpoint_interval_turns == 0) {
+        checkpoint_ = scratch_;
+      }
+    }
+  } else {
+    ++stats_.finite_turns;
+  }
+
+  // Parameter scrub: any register deviating from its shadow copy was
+  // corrupted (legitimate writes go through note_param_write).
+  if (params_ != nullptr && config_.scrub_params) {
+    for (const ShadowReg& reg : shadow_) {
+      if (ParameterBus::get(reg.handle) != reg.good) {
+        detect();
+        ++stats_.param_restores;
+        params_->set(reg.name, reg.good);
+      }
+    }
+  }
+
+  if (ref_lost_) dirty_ = true;
+
+  // Episode bookkeeping: a fully clean revolution after a detection is the
+  // recovery; time-to-recovery is the episode length in turns.
+  if (!dirty_ && episode_active_) {
+    episode_active_ = false;
+    ++stats_.recoveries;
+    stats_.recovery_turns_total += stats_.checked_turns - episode_start_turn_;
+    obs_recoveries_->add();
+    obs::Tracer::global().instant("supervisor.recovered");
+  }
+  dirty_ = false;
+}
+
+}  // namespace citl::hil

@@ -1,0 +1,185 @@
+// Supervisor: the reactive half of the fault subsystem.
+//
+// The fault injector (src/fault/) breaks things on purpose; the Supervisor
+// is the layer a production HIL rig needs anyway — it detects that the loop
+// went bad and degrades gracefully instead of crashing a campaign:
+//
+//   * state guard    — after every revolution the CGRA states are checked
+//                      for finiteness and plausibility; a bad lane rolls
+//                      back to the last periodic checkpoint,
+//   * period watchdog— the measured reference period is filtered against
+//                      the last good value; when the reference dies or
+//                      glitches the loop keeps running on the held period
+//                      (the beam signal must never stop, §III),
+//   * param scrub    — parameter registers are compared against a shadow
+//                      copy each revolution and restored on mismatch,
+//   * output guard   — non-finite kernel outputs are replaced by the last
+//                      good value,
+//   * deadline policy— a revolution whose schedule cannot meet its budget
+//                      is skipped, replayed from held outputs, aborted, or
+//                      (default) merely observed.
+//
+// Every check is observable-only on the healthy path: with no fault active
+// the supervised loop's outputs are byte-identical to an unsupervised run
+// (a tested invariant). Detection/recovery accounting is episode-based: one
+// detection when the loop transitions healthy -> faulted, one recovery when
+// a fully clean revolution completes, and time-to-recovery is the episode
+// length in turns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cgra/machine.hpp"
+#include "hil/parambus.hpp"
+
+namespace citl::obs {
+class Counter;
+}  // namespace citl::obs
+
+namespace citl::hil {
+
+/// What to do with a revolution whose planned execution exceeds the budget.
+/// kObserve keeps today's behavior (count it, run anyway) so enabling the
+/// supervisor never perturbs configurations with benign standing overruns.
+enum class DeadlinePolicy : std::uint8_t {
+  kObserve,
+  kSkipTurn,     ///< drop the revolution's kernel run / measurement
+  kHoldOutputs,  ///< repeat the previous revolution's outputs
+  kAbort,        ///< stop the run (checked via abort_requested())
+};
+
+struct SupervisorConfig {
+  bool enabled = false;
+  /// Revolutions between state checkpoints (rollback granularity).
+  std::int64_t checkpoint_interval_turns = 64;
+  /// Plausibility bound on |state|; beyond it the lane rolls back. The
+  /// physical states are O(1e-6 s) and O(1e-3) — 1e6 flags only corruption.
+  double max_abs_state = 1.0e6;
+  /// Relative deviation of the measured period from the held value that the
+  /// watchdog treats as a glitch.
+  double period_tolerance = 0.25;
+  /// Framework watchdog: synthesize a reference crossing after this many
+  /// held periods without a real one (the reference died).
+  double watchdog_timeout_periods = 3.0;
+  /// Consecutive mutually-consistent out-of-tolerance finite measurements
+  /// after which the watchdog re-locks onto them. The reference genuinely
+  /// runs at a new period (or an accepted glitch dragged the held value off);
+  /// holding forever would pin the loop to a stale period for the rest of
+  /// the run.
+  int relock_measurements = 3;
+  DeadlinePolicy deadline_policy = DeadlinePolicy::kObserve;
+  bool scrub_params = true;
+};
+
+struct SupervisorStats {
+  std::int64_t faults_detected = 0;   ///< healthy -> faulted transitions
+  std::int64_t recoveries = 0;        ///< faulted -> healthy transitions
+  std::int64_t recovery_turns_total = 0;  ///< sum of episode lengths
+  std::int64_t rollbacks = 0;         ///< state-guard checkpoint restores
+  std::int64_t param_restores = 0;    ///< scrubbed register mismatches
+  std::int64_t held_periods = 0;      ///< revolutions run on a held period
+  std::int64_t nonfinite_outputs = 0; ///< output-guard substitutions
+  std::int64_t skipped_turns = 0;     ///< kSkipTurn actions
+  std::int64_t held_turns = 0;        ///< kHoldOutputs actions
+  std::int64_t checked_turns = 0;     ///< revolutions the supervisor saw
+  std::int64_t finite_turns = 0;      ///< revolutions whose states passed
+
+  /// Fraction of checked revolutions whose states passed the finite/range
+  /// guard; 1.0 when nothing was checked (no revolutions, or no model).
+  [[nodiscard]] double finite_output_ratio() const noexcept {
+    return checked_turns > 0 ? static_cast<double>(finite_turns) /
+                                   static_cast<double>(checked_turns)
+                             : 1.0;
+  }
+  /// Mean detection-to-recovery time in turns; 0 with no recovery yet.
+  [[nodiscard]] double mean_time_to_recovery_turns() const noexcept {
+    return recoveries > 0 ? static_cast<double>(recovery_turns_total) /
+                                static_cast<double>(recoveries)
+                          : 0.0;
+  }
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(const SupervisorConfig& config);
+
+  /// Points the state guard at `lane` of `model` and takes the initial
+  /// checkpoint. Re-attach when the executing model changes (batched mode).
+  void attach_model(cgra::BeamModel& model, std::size_t lane);
+  /// Registers the parameter bus for scrubbing; the current register values
+  /// become the shadow copy.
+  void attach_params(ParameterBus& bus);
+  /// Records a legitimate host write so the scrubber does not undo it.
+  void note_param_write(const std::string& name, double value);
+
+  /// Period watchdog: returns the period the loop should use. A finite,
+  /// in-tolerance measurement updates the held value and passes through
+  /// unchanged (healthy path); a dead or deviant measurement returns the
+  /// held period and flags the reference as lost/glitching.
+  [[nodiscard]] double filter_period(double measured_s);
+  /// Framework watchdog hook: a crossing timeout elapsed (the reference is
+  /// gone); the loop is about to run a synthetic revolution on the held
+  /// period.
+  void note_reference_loss();
+  [[nodiscard]] bool reference_lost() const noexcept { return ref_lost_; }
+  [[nodiscard]] double held_period_s() const noexcept {
+    return held_period_s_;
+  }
+
+  /// Output guard hook: the kernel produced a non-finite output this turn.
+  void note_nonfinite_output();
+
+  /// Deadline hook: the planned execution exceeds this revolution's budget.
+  /// Returns the configured policy (counting the action); kObserve means
+  /// "run it anyway".
+  [[nodiscard]] DeadlinePolicy on_deadline_overrun();
+  [[nodiscard]] bool abort_requested() const noexcept { return abort_; }
+
+  /// The per-revolution reactive pass: state guard + rollback, checkpoint
+  /// refresh, parameter scrub, episode bookkeeping. Call after the kernel
+  /// iteration (and after injected state faults) every revolution.
+  void end_turn();
+
+  [[nodiscard]] const SupervisorStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const SupervisorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct ShadowReg {
+    std::string name;
+    ParameterBus::Handle handle;
+    double good;
+  };
+
+  /// Marks this turn dirty and opens an episode on the first detection.
+  void detect();
+
+  SupervisorConfig config_;
+  cgra::BeamModel* model_ = nullptr;
+  std::size_t lane_ = 0;
+  ParameterBus* params_ = nullptr;
+  std::vector<ShadowReg> shadow_;
+  std::vector<double> checkpoint_;
+  std::vector<double> scratch_;
+
+  double held_period_s_ = 0.0;
+  double relock_candidate_s_ = 0.0;  ///< deviant period under observation
+  int relock_streak_ = 0;            ///< consecutive consistent deviants
+  bool ref_lost_ = false;
+  bool abort_ = false;
+  bool dirty_ = false;            ///< a detector fired this turn
+  bool episode_active_ = false;
+  std::int64_t episode_start_turn_ = 0;
+  SupervisorStats stats_;
+
+  obs::Counter* obs_detections_ = nullptr;
+  obs::Counter* obs_recoveries_ = nullptr;
+  obs::Counter* obs_rollbacks_ = nullptr;
+};
+
+}  // namespace citl::hil

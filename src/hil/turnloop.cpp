@@ -139,6 +139,17 @@ TurnLoop::TurnLoop(const TurnLoopConfig& config,
   omega_gap_ = kTwoPi * config.f_ref_hz *
                static_cast<double>(kc.ring.harmonic);
   control_on_ = config.control_enabled;
+
+  if (!config.faults.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        config.faults, config.noise_seed,
+        fault::FaultInjector::Host::kTurnLevel);
+    injector_->resolve_targets(*kernel_);
+  }
+  if (config.supervisor.enabled) {
+    supervisor_ = std::make_unique<Supervisor>(config.supervisor);
+    supervisor_->attach_model(*machine_, 0);
+  }
 }
 
 TurnLoop::TurnLoop(const TurnLoopConfig& config,
@@ -148,6 +159,11 @@ TurnLoop::TurnLoop(const TurnLoopConfig& config,
   // Drop the owned machine: execution happens through an attached lane.
   machine_.reset();
   model_ = nullptr;
+  if (supervisor_ != nullptr) {
+    // Fresh supervisor without a model: attach_model() points its state
+    // guard at the shared lane (no turn has run yet, so nothing is lost).
+    supervisor_ = std::make_unique<Supervisor>(config.supervisor);
+  }
 }
 
 TurnLoop::~TurnLoop() = default;
@@ -158,6 +174,7 @@ void TurnLoop::attach_model(cgra::BeamModel& model, std::size_t lane) {
   CITL_CHECK_MSG(lane < model.lanes(), "attach_model lane out of range");
   model_ = &model;
   lane_ = lane;
+  if (supervisor_ != nullptr) supervisor_->attach_model(model, lane);
 }
 
 cgra::SensorBus& TurnLoop::cgra_bus() noexcept { return *bus_; }
@@ -177,6 +194,7 @@ void TurnLoop::displace(double dgamma, double dt_s) {
 void TurnLoop::begin_turn() {
   CITL_CHECK_MSG(model_ != nullptr, "no model attached");
   CITL_CHECK_MSG(!turn_open_, "begin_turn() without finish_turn()");
+  if (injector_ != nullptr) injector_->begin_tick(turn_);
   // Present this revolution's inputs.
   double period = t_ref_s_;
   if (config_.quantise_period) {
@@ -186,6 +204,11 @@ void TurnLoop::begin_turn() {
     const double fs = config_.kernel.sample_rate_hz;
     period = std::round(period * fs) / fs;
   }
+  // Fault seam + watchdog: a reference dropout turns the measurement into
+  // NaN; the supervisor holds the last valid period so the loop keeps
+  // producing a beam signal (an unsupervised loop lets the NaN through).
+  if (injector_ != nullptr) period = injector_->filter_period_s(period);
+  if (supervisor_ != nullptr) period = supervisor_->filter_period(period);
   bus_->measured_period_s = period;
   bus_->gap_phase_rad = gap_phase_rad();
   if (config_.synthesize_waveform) {
@@ -205,24 +228,55 @@ TurnRecord TurnLoop::finish_turn(unsigned exec_cycles) {
   CITL_CHECK_MSG(turn_open_, "finish_turn() without begin_turn()");
   turn_open_ = false;
 
+  if (injector_ != nullptr) exec_cycles += injector_->stall_cycles();
   deadline_.record(static_cast<double>(exec_cycles), budget_cycles_, time_s_);
+  DeadlinePolicy action = DeadlinePolicy::kObserve;
   if (static_cast<double>(exec_cycles) > budget_cycles_) {
     ++realtime_violations_;
+    if (supervisor_ != nullptr) action = supervisor_->on_deadline_overrun();
   }
+
+  // Injected state faults land after the iteration (an SEU strikes between
+  // revolutions); the supervisor's reactive pass runs before the record is
+  // read so a rolled-back turn reports the restored states.
+  if (injector_ != nullptr) injector_->apply_state_faults(*model_, lane_);
+  if (supervisor_ != nullptr) supervisor_->end_turn();
 
   // Phase measurement on the generated beam signal (bunch 0). The plotted
   // quantity (Fig. 5) is the phase between beam and *reference* signal;
   // the controlled quantity is the phase between beam and *gap* signal —
   // the bunch position inside its bucket (Klingbeil 2007). Feedback on
   // the latter yields a plain damped second-order loop.
-  double phase = wrap_angle(bus_->arrivals[0] * omega_gap_);
-  if (config_.phase_noise_rad > 0.0) {
-    phase += noise_.gaussian(0.0, config_.phase_noise_rad);
+  double phase;
+  bool feed_control = true;
+  if (action == DeadlinePolicy::kSkipTurn) {
+    // The revolution's outputs are dropped: hold the measurement, freeze
+    // the control chain for one turn.
+    phase = last_phase_;
+    feed_control = false;
+  } else if (action == DeadlinePolicy::kHoldOutputs ||
+             action == DeadlinePolicy::kAbort) {
+    phase = last_phase_;
+  } else {
+    phase = wrap_angle(bus_->arrivals[0] * omega_gap_);
+    if (config_.phase_noise_rad > 0.0) {
+      phase += noise_.gaussian(0.0, config_.phase_noise_rad);
+    }
+    if (!std::isfinite(phase)) {
+      // Output guard: never let a corrupted kernel output reach the
+      // controller. Unsupervised loops keep the historical behavior (the
+      // NaN propagates — that is the failure mode the guard exists for).
+      if (supervisor_ != nullptr) {
+        supervisor_->note_nonfinite_output();
+        phase = last_phase_;
+      }
+    }
   }
+  last_phase_ = phase;
   const double bucket_phase = wrap_angle(phase + bus_->gap_phase_rad);
 
   // Closed-loop control at the decimated rate.
-  if (decimator_.feed(bucket_phase)) {
+  if (feed_control && decimator_.feed(bucket_phase)) {
     correction_hz_ = control_on_ ? controller_.update(decimator_.output())
                                  : 0.0;
   }
@@ -261,7 +315,7 @@ TurnRecord TurnLoop::step() {
 
 void TurnLoop::run(std::int64_t turns,
                    const std::function<void(const TurnRecord&)>& cb) {
-  for (std::int64_t i = 0; i < turns; ++i) {
+  for (std::int64_t i = 0; i < turns && !aborted(); ++i) {
     const TurnRecord r = step();
     if (cb) cb(r);
   }

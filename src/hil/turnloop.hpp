@@ -27,7 +27,10 @@
 #include "core/random.hpp"
 #include "ctrl/controller.hpp"
 #include "ctrl/jump.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "hil/recorder.hpp"
+#include "hil/supervisor.hpp"
 #include "obs/deadline.hpp"
 
 namespace citl::hil {
@@ -56,6 +59,13 @@ struct TurnLoopConfig {
   /// Period-detector quantisation: when true the measured period is rounded
   /// to the capture clock and averaged over 4 periods like the hardware.
   bool quantise_period = false;
+  /// Scripted fault campaign, in turns (empty = healthy run). Kinds that act
+  /// on converter codes or parameter registers are rejected — they only
+  /// exist at the sample-accurate fidelity.
+  fault::FaultPlan faults;
+  /// Supervised recovery layer (disabled by default; enabling it with no
+  /// fault active leaves the records byte-identical — a tested invariant).
+  SupervisorConfig supervisor;
 };
 
 /// One revolution's observables.
@@ -156,6 +166,19 @@ class TurnLoop {
   /// Opens/closes the phase control loop at runtime.
   void enable_control(bool on) noexcept { control_on_ = on; }
 
+  /// The fault injector driving this run (nullptr on a fault-free run).
+  [[nodiscard]] const fault::FaultInjector* injector() const noexcept {
+    return injector_.get();
+  }
+  /// The supervised recovery layer (nullptr unless config.supervisor.enabled).
+  [[nodiscard]] const Supervisor* supervisor() const noexcept {
+    return supervisor_.get();
+  }
+  /// True once the supervisor's kAbort deadline policy stopped the run.
+  [[nodiscard]] bool aborted() const noexcept {
+    return supervisor_ != nullptr && supervisor_->abort_requested();
+  }
+
  private:
   class AnalyticBus;
 
@@ -165,6 +188,8 @@ class TurnLoop {
   std::unique_ptr<cgra::CgraMachine> machine_;  ///< null in ExternalModel mode
   cgra::BeamModel* model_ = nullptr;            ///< machine_ or attached lane
   std::size_t lane_ = 0;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<Supervisor> supervisor_;
   ctrl::BeamPhaseController controller_;
   ctrl::PhaseDecimator decimator_;
   Rng noise_;
@@ -184,6 +209,7 @@ class TurnLoop {
   bool turn_open_ = false;  ///< begin_turn() ran, finish_turn() pending
   double ctrl_phase_rad_ = 0.0;   ///< integral of frequency corrections
   double correction_hz_ = 0.0;
+  double last_phase_ = 0.0;       ///< last good measured phase (output guard)
   double budget_cycles_ = 0.0;    ///< this turn's deadline budget
   std::int64_t realtime_violations_ = 0;
   obs::DeadlineProfiler deadline_;

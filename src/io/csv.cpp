@@ -1,5 +1,6 @@
 #include "io/csv.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -8,24 +9,103 @@
 
 namespace citl::io {
 
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 std::string csv_to_string(const std::vector<Column>& columns) {
   std::ostringstream os;
   os << std::setprecision(17);
   for (std::size_t c = 0; c < columns.size(); ++c) {
     if (c != 0) os << ',';
-    os << columns[c].name;
+    os << csv_escape(columns[c].name);
   }
   os << '\n';
   std::size_t rows = 0;
-  for (const auto& c : columns) rows = std::max(rows, c.values.size());
+  for (const auto& c : columns) rows = std::max(rows, c.size());
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < columns.size(); ++c) {
       if (c != 0) os << ',';
-      if (r < columns[c].values.size()) os << columns[c].values[r];
+      const Column& col = columns[c];
+      if (col.is_text()) {
+        if (r < col.labels.size()) os << csv_escape(col.labels[r]);
+      } else if (r < col.values.size()) {
+        os << col.values[r];
+      }
     }
     os << '\n';
   }
   return os.str();
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;       // inside a quoted field
+  bool any_field = false;    // current row has content (field char or comma)
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    any_field = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';  // doubled quote inside a quoted field
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += ch;  // commas and line breaks are literal when quoted
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        quoted = true;
+        any_field = true;
+        break;
+      case ',':
+        end_field();
+        any_field = true;
+        break;
+      case '\r':
+        // CRLF: consume the CR, the LF below ends the row.
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += ch;
+        any_field = true;
+        break;
+    }
+  }
+  // Final row without a trailing newline.
+  if (any_field || !field.empty() || !row.empty()) end_row();
+  return rows;
 }
 
 void write_csv(const std::string& path, const std::vector<Column>& columns) {

@@ -7,7 +7,13 @@ namespace citl::obs {
 
 void DeadlineProfiler::record(double exec_cycles, double budget_cycles,
                               double time_s) {
-  const bool valid_budget = budget_cycles > 0.0;
+  // A non-finite budget or execution count (a poisoned period measurement,
+  // e.g. a reference dropout without a supervising watchdog) is a miss with
+  // pinned occupancy: the histogram and extrema must stay NaN-free so the
+  // stats remain deterministic and comparable.
+  const bool valid_budget =
+      budget_cycles > 0.0 && std::isfinite(budget_cycles) &&
+      std::isfinite(exec_cycles);
   const double occupancy =
       valid_budget ? exec_cycles / budget_cycles : kMaxOccupancy;
   const double headroom = 1.0 - occupancy;
@@ -55,6 +61,7 @@ double DeadlineProfiler::occupancy_quantile(double q) const {
   // collapsed onto its lower edge (kMaxOccupancy). The result is clamped to
   // the exactly-tracked observed range so bucket quantisation can never
   // report a quantile outside [min, max] occupancy.
+  if (revolutions_ == 0) return 0.0;  // no samples: a quantile of nothing
   const double occ_min = 1.0 - headroom_max_;
   const double occ_max = 1.0 - headroom_min_;
   const auto total = static_cast<double>(revolutions_);

@@ -87,11 +87,13 @@ class DeadlineProfiler {
 
   [[nodiscard]] DeadlineStats stats() const;
 
+  /// Interpolated occupancy quantile from the histogram, clamped to the
+  /// exactly-tracked observed range. 0.0 when no revolutions were recorded.
+  [[nodiscard]] double occupancy_quantile(double q) const;
+
   void reset();
 
  private:
-  [[nodiscard]] double occupancy_quantile(double q) const;
-
   std::int64_t revolutions_ = 0;
   std::int64_t misses_ = 0;
   double headroom_min_ = 0.0;

@@ -109,14 +109,14 @@ void LongSim::export_csv(const std::string& path, const LongSimResult& r) {
     rms_dg.push_back(s.rms_dgamma);
     eps.push_back(s.emittance);
   }
-  io::write_csv(path, {{"time_s", t},
-                       {"turn", turn},
-                       {"gamma_r", gamma},
-                       {"f_rev_hz", frev},
-                       {"centroid_dt_s", centroid},
-                       {"rms_dt_s", rms_dt},
-                       {"rms_dgamma", rms_dg},
-                       {"emittance", eps}});
+  io::write_csv(path, {{"time_s", t, {}},
+                       {"turn", turn, {}},
+                       {"gamma_r", gamma, {}},
+                       {"f_rev_hz", frev, {}},
+                       {"centroid_dt_s", centroid, {}},
+                       {"rms_dt_s", rms_dt, {}},
+                       {"rms_dgamma", rms_dg, {}},
+                       {"emittance", eps, {}}});
 }
 
 }  // namespace citl::offline

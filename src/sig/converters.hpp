@@ -51,6 +51,8 @@ class Adc {
   [[nodiscard]] double lsb_v() const noexcept { return lsb_v_; }
   [[nodiscard]] double full_scale_v() const noexcept { return half_range_v_; }
   [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] int min_code() const noexcept { return min_code_; }
+  [[nodiscard]] int max_code() const noexcept { return max_code_; }
 
   /// The FMC151 ADC channel: 14 bits, 2 Vpp.
   [[nodiscard]] static Adc fmc151(double noise_rms_v = 0.0,

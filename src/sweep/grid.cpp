@@ -25,6 +25,16 @@ cgra::BeamKernelConfig& kernel_of(Scenario& s) {
                                                 : s.framework.kernel;
 }
 
+fault::FaultPlan& faults_of(Scenario& s) {
+  return s.engine == ScenarioEngine::kTurnLevel ? s.turnloop.faults
+                                                : s.framework.faults;
+}
+
+hil::SupervisorConfig& supervisor_of(Scenario& s) {
+  return s.engine == ScenarioEngine::kTurnLevel ? s.turnloop.supervisor
+                                                : s.framework.supervisor;
+}
+
 }  // namespace
 
 ScenarioGridBuilder::ScenarioGridBuilder(Scenario base)
@@ -74,6 +84,18 @@ ScenarioGridBuilder& ScenarioGridBuilder::species(
   return *this;
 }
 
+ScenarioGridBuilder& ScenarioGridBuilder::fault_plans(
+    std::vector<fault::FaultPlan> values) {
+  fault_plans_ = std::move(values);
+  return *this;
+}
+
+ScenarioGridBuilder& ScenarioGridBuilder::supervisor(
+    hil::SupervisorConfig config) {
+  supervisor_of(base_) = config;
+  return *this;
+}
+
 ScenarioGridBuilder& ScenarioGridBuilder::duration_s(double seconds) {
   base_.duration_s = seconds;
   return *this;
@@ -103,7 +125,8 @@ ScenarioGridBuilder& ScenarioGridBuilder::mutate(
 std::size_t ScenarioGridBuilder::size() const noexcept {
   const auto dim = [](std::size_t n) { return n == 0 ? 1 : n; };
   return dim(jumps_deg_.size()) * dim(gains_.size()) *
-         dim(harmonics_.size()) * dim(species_.size());
+         dim(harmonics_.size()) * dim(species_.size()) *
+         dim(fault_plans_.size());
 }
 
 std::vector<Scenario> ScenarioGridBuilder::build() const {
@@ -112,42 +135,53 @@ std::vector<Scenario> ScenarioGridBuilder::build() const {
   const std::size_t ng = gains_.empty() ? 1 : gains_.size();
   const std::size_t nh = harmonics_.empty() ? 1 : harmonics_.size();
   const std::size_t ns = species_.empty() ? 1 : species_.size();
+  const std::size_t nf = fault_plans_.empty() ? 1 : fault_plans_.size();
 
   std::vector<Scenario> out;
-  out.reserve(nj * ng * nh * ns);
+  out.reserve(nj * ng * nh * ns * nf);
   for (std::size_t j = 0; j < nj; ++j) {
     for (std::size_t g = 0; g < ng; ++g) {
       for (std::size_t h = 0; h < nh; ++h) {
         for (std::size_t i = 0; i < ns; ++i) {
-          Scenario s = base_;
-          std::string name = prefix_;
-          if (!jumps_deg_.empty()) {
-            jumps_of(s) = ctrl::PhaseJumpProgramme(
-                deg_to_rad(jumps_deg_[j]), jump_interval_s_, jump_start_s_);
-            name += "jump" +
-                    std::to_string(static_cast<int>(jumps_deg_[j])) + "deg";
+          for (std::size_t f = 0; f < nf; ++f) {
+            Scenario s = base_;
+            std::string name = prefix_;
+            if (!jumps_deg_.empty()) {
+              jumps_of(s) = ctrl::PhaseJumpProgramme(
+                  deg_to_rad(jumps_deg_[j]), jump_interval_s_, jump_start_s_);
+              name += "jump" +
+                      std::to_string(static_cast<int>(jumps_deg_[j])) + "deg";
+            }
+            if (!gains_.empty()) {
+              controller_of(s).gain = gains_[g];
+              if (!name.empty() && name.back() != '_') name += '_';
+              // The paper's gains are negative; "gain5" means -5 (the sign
+              // is part of the loop convention, not worth repeating in
+              // names).
+              name += "gain" + std::to_string(static_cast<int>(-gains_[g]));
+            }
+            if (!harmonics_.empty()) {
+              kernel_of(s).ring.harmonic = harmonics_[h];
+              if (!name.empty() && name.back() != '_') name += '_';
+              name += "h" + std::to_string(harmonics_[h]);
+            }
+            if (!species_.empty()) {
+              kernel_of(s).ion = species_[i];
+              if (!name.empty() && name.back() != '_') name += '_';
+              name += species_[i].name;
+            }
+            if (!fault_plans_.empty()) {
+              faults_of(s) = fault_plans_[f];
+              if (!name.empty() && name.back() != '_') name += '_';
+              name += fault_plans_[f].name.empty()
+                          ? "plan" + std::to_string(f)
+                          : fault_plans_[f].name;
+            }
+            s.name = name.empty() ? "scenario" + std::to_string(out.size())
+                                  : std::move(name);
+            if (mutate_) mutate_(s);
+            out.push_back(std::move(s));
           }
-          if (!gains_.empty()) {
-            controller_of(s).gain = gains_[g];
-            if (!name.empty() && name.back() != '_') name += '_';
-            // The paper's gains are negative; "gain5" means -5 (the sign is
-            // part of the loop convention, not worth repeating in names).
-            name += "gain" + std::to_string(static_cast<int>(-gains_[g]));
-          }
-          if (!harmonics_.empty()) {
-            kernel_of(s).ring.harmonic = harmonics_[h];
-            if (!name.empty() && name.back() != '_') name += '_';
-            name += "h" + std::to_string(harmonics_[h]);
-          }
-          if (!species_.empty()) {
-            kernel_of(s).ion = species_[i];
-            if (!name.empty() && name.back() != '_') name += '_';
-            name += species_[i].name;
-          }
-          s.name = name.empty() ? "scenario" + std::to_string(out.size())
-                                : std::move(name);
-          if (mutate_) mutate_(s);
-          out.push_back(std::move(s));
         }
       }
     }

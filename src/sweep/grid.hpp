@@ -16,13 +16,15 @@
 //
 // Axes left unset keep the base configuration's value and add nothing to
 // the scenario names. Scenario order is deterministic: jump amplitudes
-// outermost, then gains, harmonics, species.
+// outermost, then gains, harmonics, species, fault plans (innermost — a
+// fault campaign runs every plan against every operating point).
 #pragma once
 
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "phys/ion.hpp"
 #include "sweep/sweep.hpp"
 
@@ -48,6 +50,13 @@ class ScenarioGridBuilder {
   ScenarioGridBuilder& harmonics(std::vector<int> values);
   /// Ion species to sweep (kernel.ion).
   ScenarioGridBuilder& species(std::vector<phys::Ion> values);
+  /// Fault campaigns to sweep: every scenario point is run once per plan
+  /// (innermost axis; plan names suffix the scenario names). An entry with
+  /// an empty plan is the healthy control arm.
+  ScenarioGridBuilder& fault_plans(std::vector<fault::FaultPlan> values);
+  /// Supervisor configuration applied to every scenario (typically enabled
+  /// together with fault_plans()).
+  ScenarioGridBuilder& supervisor(hil::SupervisorConfig config);
 
   ScenarioGridBuilder& duration_s(double seconds);
   ScenarioGridBuilder& f_sync_nominal_hz(double hz);
@@ -70,6 +79,7 @@ class ScenarioGridBuilder {
   std::vector<double> jumps_deg_;
   std::vector<int> harmonics_;
   std::vector<phys::Ion> species_;
+  std::vector<fault::FaultPlan> fault_plans_;
   double jump_interval_s_ = 1.0;
   double jump_start_s_ = 1.0e-3;
   std::string prefix_;

@@ -41,6 +41,14 @@ struct ScenarioMetrics {
   double deadline_headroom_p50 = 0.0;
   double deadline_headroom_p99 = 0.0;
   double worst_overrun_cycles = 0.0;
+  // -- fault campaign accounting (src/fault/, hil::Supervisor) --
+  // Deterministic like the rest: a fixed (plan, seed) replays bit-exactly
+  // at any thread or lane count. All zeros (ratio 1.0) on a healthy run.
+  std::int64_t faults_injected = 0;   ///< fault windows entered
+  std::int64_t faults_detected = 0;   ///< supervisor healthy->faulted edges
+  std::int64_t faults_recovered = 0;  ///< episodes closed by a clean turn
+  double time_to_recovery_turns = 0.0;  ///< mean episode length [turns]
+  double finite_output_ratio = 1.0;   ///< fraction of turns with finite state
   // -- timing (measured, deliberately excluded from determinism checks) --
   double wall_time_s = 0.0;
   double wall_over_sim = 0.0;       ///< < 1 means faster than real time

@@ -8,10 +8,12 @@ std::vector<io::Column> metrics_columns(const SweepResult& result,
                                         bool include_timing) {
   const std::size_t n = result.scenarios.size();
   auto column = [n](std::string name) {
-    io::Column c{std::move(name), {}};
+    io::Column c{std::move(name), {}, {}};
     c.values.reserve(n);
     return c;
   };
+  io::Column name{"name", {}, {}};
+  name.labels.reserve(n);
   io::Column index = column("scenario");
   io::Column seed = column("seed");
   io::Column f_sync = column("f_sync_measured_hz");
@@ -28,10 +30,16 @@ std::vector<io::Column> metrics_columns(const SweepResult& result,
   io::Column hr_p99 = column("deadline_headroom_p99");
   io::Column overrun = column("worst_overrun_cycles");
   io::Column f_ref = column("f_sync_reference_hz");
+  io::Column f_inj = column("faults_injected");
+  io::Column f_det = column("faults_detected");
+  io::Column f_rec = column("faults_recovered");
+  io::Column f_ttr = column("time_to_recovery_turns");
+  io::Column f_fin = column("finite_output_ratio");
   io::Column wall = column("wall_time_s");
   io::Column ratio = column("wall_over_sim");
 
   for (const auto& s : result.scenarios) {
+    name.labels.push_back(s.name);
     index.values.push_back(static_cast<double>(s.index));
     seed.values.push_back(static_cast<double>(s.seed));
     f_sync.values.push_back(s.metrics.f_sync_measured_hz);
@@ -50,17 +58,24 @@ std::vector<io::Column> metrics_columns(const SweepResult& result,
     hr_p99.values.push_back(s.metrics.deadline_headroom_p99);
     overrun.values.push_back(s.metrics.worst_overrun_cycles);
     f_ref.values.push_back(s.f_sync_reference_hz);
+    f_inj.values.push_back(static_cast<double>(s.metrics.faults_injected));
+    f_det.values.push_back(static_cast<double>(s.metrics.faults_detected));
+    f_rec.values.push_back(static_cast<double>(s.metrics.faults_recovered));
+    f_ttr.values.push_back(s.metrics.time_to_recovery_turns);
+    f_fin.values.push_back(s.metrics.finite_output_ratio);
     wall.values.push_back(s.metrics.wall_time_s);
     ratio.values.push_back(s.metrics.wall_over_sim);
   }
 
   std::vector<io::Column> cols{
-      std::move(index),        std::move(seed),    std::move(f_sync),
-      std::move(tau),          std::move(swing),   std::move(rms),
-      std::move(settled),      std::move(violations), std::move(runs),
-      std::move(sim_time),     std::move(sched_cycles), std::move(hr_min),
-      std::move(hr_p50),       std::move(hr_p99),  std::move(overrun),
-      std::move(f_ref)};
+      std::move(name),         std::move(index),   std::move(seed),
+      std::move(f_sync),       std::move(tau),     std::move(swing),
+      std::move(rms),          std::move(settled), std::move(violations),
+      std::move(runs),         std::move(sim_time),
+      std::move(sched_cycles), std::move(hr_min),  std::move(hr_p50),
+      std::move(hr_p99),       std::move(overrun), std::move(f_ref),
+      std::move(f_inj),        std::move(f_det),   std::move(f_rec),
+      std::move(f_ttr),        std::move(f_fin)};
   if (include_timing) {
     cols.push_back(std::move(wall));
     cols.push_back(std::move(ratio));
@@ -112,6 +127,13 @@ std::string metrics_json(const SweepResult& result, bool include_timing) {
     w.key("headroom_p50").value(s.metrics.deadline_headroom_p50);
     w.key("headroom_p99").value(s.metrics.deadline_headroom_p99);
     w.key("worst_overrun_cycles").value(s.metrics.worst_overrun_cycles);
+    w.end_object();
+    w.key("faults").begin_object();
+    w.key("injected").value(s.metrics.faults_injected);
+    w.key("detected").value(s.metrics.faults_detected);
+    w.key("recovered").value(s.metrics.faults_recovered);
+    w.key("time_to_recovery_turns").value(s.metrics.time_to_recovery_turns);
+    w.key("finite_output_ratio").value(s.metrics.finite_output_ratio);
     w.end_object();
     if (include_timing) {
       w.key("wall_time_s").value(s.metrics.wall_time_s);

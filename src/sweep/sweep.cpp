@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 
 #include "cgra/batch.hpp"
 #include "core/units.hpp"
@@ -153,6 +154,34 @@ void fill_windows(const Scenario& scenario, double jump_s,
   windows.f_sync_nominal_hz = scenario.f_sync_nominal_hz;
 }
 
+[[nodiscard]] double finite_fraction(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  std::size_t n = 0;
+  for (const double v : xs) {
+    if (std::isfinite(v)) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+/// Fault-campaign columns: injector counters plus supervisor episode stats.
+/// Without a supervisor the finite-output ratio falls back to the fraction
+/// of finite phase samples — exactly 1.0 on a healthy run either way, so the
+/// healthy-path byte-identity regression holds.
+void fill_fault_metrics(const fault::FaultInjector* injector,
+                        const hil::Supervisor* supervisor,
+                        std::span<const double> phases, ScenarioMetrics& m) {
+  if (injector != nullptr) m.faults_injected = injector->windows_entered();
+  if (supervisor != nullptr) {
+    const hil::SupervisorStats& s = supervisor->stats();
+    m.faults_detected = s.faults_detected;
+    m.faults_recovered = s.recoveries;
+    m.time_to_recovery_turns = s.mean_time_to_recovery_turns();
+    m.finite_output_ratio = s.finite_output_ratio();
+  } else {
+    m.finite_output_ratio = finite_fraction(phases);
+  }
+}
+
 void finalize_framework_result(const Scenario& scenario, hil::Framework& fw,
                                double wall_s, bool collect_traces,
                                ScenarioResult& out) {
@@ -173,6 +202,8 @@ void finalize_framework_result(const Scenario& scenario, hil::Framework& fw,
   out.metrics.deadline_headroom_p50 = deadline.headroom_p50;
   out.metrics.deadline_headroom_p99 = deadline.headroom_p99;
   out.metrics.worst_overrun_cycles = deadline.worst_overrun_cycles;
+  fill_fault_metrics(fw.injector(), fw.supervisor(),
+                     fw.phase_trace().values(), out.metrics);
   out.metrics.wall_time_s = wall_s;
   out.metrics.wall_over_sim =
       scenario.duration_s > 0.0 ? wall_s / scenario.duration_s : 0.0;
@@ -203,6 +234,7 @@ void finalize_turn_result(const Scenario& scenario, hil::TurnLoop& loop,
   out.metrics.deadline_headroom_p50 = deadline.headroom_p50;
   out.metrics.deadline_headroom_p99 = deadline.headroom_p99;
   out.metrics.worst_overrun_cycles = deadline.worst_overrun_cycles;
+  fill_fault_metrics(loop.injector(), loop.supervisor(), phases, out.metrics);
   out.metrics.wall_time_s = wall_s;
   out.metrics.wall_over_sim =
       scenario.duration_s > 0.0 ? wall_s / scenario.duration_s : 0.0;
@@ -332,6 +364,11 @@ void run_framework_chunk(const SweepConfig& config,
   }
   cgra::PerLaneBusAdapter adapter(std::move(buses));
   cgra::BatchedCgraMachine machine(*kernel, n, adapter);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Injected state faults and the supervisor's state guard act on this
+    // framework's lane of the shared machine, not the idle owned one.
+    fws[k]->attach_cgra_model(machine, k);
+  }
 
   {
     obs::ScopedSpan span("sweep.batch_chunk");
@@ -417,7 +454,7 @@ void run_turn_chunk(const SweepConfig& config,
     for (;;) {
       active.clear();
       for (std::size_t k = 0; k < n; ++k) {
-        if (loops[k]->turn() < turns[k]) {
+        if (loops[k]->turn() < turns[k] && !loops[k]->aborted()) {
           loops[k]->begin_turn();
           active.push_back(static_cast<std::uint32_t>(k));
         }

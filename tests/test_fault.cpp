@@ -1,0 +1,728 @@
+// Deterministic fault injection and supervised recovery: plan validation
+// (every ConfigError names the offending entry), healthy-path byte identity
+// with the injector/supervisor constructed, per-kind mid-run injection with
+// detection/recovery accounting and re-convergence, and bit-identical
+// fault-campaign replay at any thread or lane count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
+#include "hil/experiment.hpp"
+#include "hil/framework.hpp"
+#include "hil/supervisor.hpp"
+#include "hil/turnloop.hpp"
+#include "phys/relativity.hpp"
+#include "phys/synchrotron.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/report.hpp"
+#include "sweep/sweep.hpp"
+
+namespace citl {
+namespace {
+
+using fault::FaultChannel;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultSpec;
+
+FaultSpec window(FaultKind kind, std::int64_t start, std::int64_t duration) {
+  FaultSpec s;
+  s.kind = kind;
+  s.start_tick = start;
+  s.duration = duration;
+  return s;
+}
+
+/// Runs `fn` and asserts it throws ConfigError whose message contains every
+/// needle — the "names the offending entry" contract.
+void expect_config_error(const std::function<void()>& fn,
+                         const std::vector<std::string>& needles) {
+  try {
+    fn();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "missing \"" << needle << "\" in: " << what;
+    }
+  }
+}
+
+hil::FrameworkConfig framework_config() {
+  hil::FrameworkConfig fc;
+  fc.kernel.pipelined = true;
+  fc.f_ref_hz = 800.0e3;
+  const phys::Ring ring = phys::sis18(4);
+  fc.gap_voltage_v = phys::amplitude_for_synchrotron_frequency(
+      phys::ion_n14_7plus(), ring,
+      phys::gamma_from_revolution_frequency(800.0e3, ring.circumference_m),
+      1280.0);
+  fc.jumps = ctrl::PhaseJumpProgramme(deg_to_rad(8.0), 1.0, 0.8e-3);
+  return fc;
+}
+
+hil::TurnLoopConfig turnloop_config() {
+  hil::TurnLoopConfig tl;
+  tl.kernel.pipelined = true;
+  tl.f_ref_hz = 800.0e3;
+  tl.gap_voltage_v = 4860.0;
+  tl.jumps = ctrl::PhaseJumpProgramme(deg_to_rad(8.0), 1.0, 0.8e-3);
+  return tl;
+}
+
+// --- plan validation -------------------------------------------------------
+
+TEST(FaultPlan, KindNamesRoundTrip) {
+  for (const FaultKind kind :
+       {FaultKind::kAdcStuckCode, FaultKind::kAdcBitFlip,
+        FaultKind::kAdcDropout, FaultKind::kRefGlitch, FaultKind::kRefDropout,
+        FaultKind::kParamCorruption, FaultKind::kStateCorruption,
+        FaultKind::kStallCycles}) {
+    EXPECT_EQ(fault::fault_kind_from_string(fault::to_string(kind)), kind);
+  }
+  expect_config_error([] { (void)fault::fault_kind_from_string("cosmic_ray"); },
+                      {"unknown fault kind", "cosmic_ray"});
+}
+
+TEST(FaultPlan, ValidPlanPasses) {
+  FaultPlan plan;
+  plan.name = "bench";
+  plan.entries.push_back(window(FaultKind::kRefDropout, 100, 50));
+  plan.entries.push_back(window(FaultKind::kRefDropout, 200, 50));  // disjoint
+  FaultSpec adc_ref = window(FaultKind::kAdcDropout, 100, 50);
+  adc_ref.channel = FaultChannel::kReference;
+  FaultSpec adc_gap = window(FaultKind::kAdcDropout, 100, 50);
+  adc_gap.channel = FaultChannel::kGap;  // same window, different channel: ok
+  plan.entries.push_back(adc_ref);
+  plan.entries.push_back(adc_gap);
+  FaultSpec seu = window(FaultKind::kStateCorruption, 0, 1000);
+  seu.target = "dt0";
+  plan.entries.push_back(seu);
+  EXPECT_NO_THROW(fault::validate(plan));
+}
+
+TEST(FaultPlan, ValidationNamesTheOffendingEntry) {
+  // Non-positive duration, named by plan, index and kind.
+  FaultPlan plan;
+  plan.name = "campaign-a";
+  plan.entries.push_back(window(FaultKind::kRefDropout, 100, 0));
+  expect_config_error([&] { fault::validate(plan); },
+                      {"fault plan \"campaign-a\" entry #0 (ref_dropout)",
+                       "duration must be positive"});
+
+  // Rate out of range on the *second* entry.
+  plan.entries[0].duration = 10;
+  FaultSpec flip = window(FaultKind::kAdcBitFlip, 0, 10);
+  flip.rate = 1.5;
+  plan.entries.push_back(flip);
+  expect_config_error([&] { fault::validate(plan); },
+                      {"entry #1 (adc_bit_flip)", "rate must be in [0, 1]"});
+
+  // Bit index outside a binary32 word.
+  plan.entries[1].rate = 0.5;
+  plan.entries[1].bit = 32;
+  expect_config_error([&] { fault::validate(plan); },
+                      {"entry #1 (adc_bit_flip)", "bit must be -1 or in"});
+  plan.entries.pop_back();
+
+  // Kinds that act on a named register/state require a target.
+  plan.entries.push_back(window(FaultKind::kParamCorruption, 0, 10));
+  expect_config_error([&] { fault::validate(plan); },
+                      {"entry #1 (param_corruption)", "requires a target"});
+  plan.entries.pop_back();
+
+  // A stall window must stall by at least one cycle.
+  plan.entries.push_back(window(FaultKind::kStallCycles, 0, 10));
+  expect_config_error([&] { fault::validate(plan); },
+                      {"entry #1 (stall_cycles)", "must be >= 1"});
+}
+
+TEST(FaultPlan, ValidationNamesBothOverlappingEntries) {
+  FaultPlan plan;
+  plan.name = "overlap";
+  plan.entries.push_back(window(FaultKind::kRefDropout, 100, 100));
+  plan.entries.push_back(window(FaultKind::kRefDropout, 150, 100));
+  expect_config_error(
+      [&] { fault::validate(plan); },
+      {"entry #1 (ref_dropout)", "entry #0 (ref_dropout)", "overlaps"});
+
+  // Param corruptions of *different* registers may overlap freely.
+  plan.entries.clear();
+  FaultSpec a = window(FaultKind::kParamCorruption, 0, 100);
+  a.target = "beam_pulse_scale";
+  FaultSpec b = window(FaultKind::kParamCorruption, 50, 100);
+  b.target = "record_enable";
+  plan.entries = {a, b};
+  EXPECT_NO_THROW(fault::validate(plan));
+}
+
+// --- injector unit behavior ------------------------------------------------
+
+TEST(FaultInjector, FiltersAreIdentityOutsideWindows) {
+  FaultPlan plan;
+  plan.entries.push_back(window(FaultKind::kAdcDropout, 100, 10));
+  plan.entries.push_back(window(FaultKind::kRefDropout, 200, 10));
+  fault::FaultInjector inj(plan, 7, fault::FaultInjector::Host::kSampleAccurate);
+
+  inj.begin_tick(0);
+  EXPECT_FALSE(inj.any_active());
+  EXPECT_EQ(inj.filter_adc_code(FaultChannel::kReference, 123, 14, -8192, 8191),
+            123);
+  EXPECT_EQ(inj.filter_reference_v(0.5), 0.5);
+  EXPECT_EQ(inj.filter_period_s(1.25e-6), 1.25e-6);
+  EXPECT_EQ(inj.windows_entered(), 0);
+
+  inj.begin_tick(105);
+  EXPECT_TRUE(inj.any_active());
+  EXPECT_EQ(inj.filter_adc_code(FaultChannel::kReference, 123, 14, -8192, 8191),
+            0);
+  // The dropout targets the reference channel only.
+  EXPECT_EQ(inj.filter_adc_code(FaultChannel::kGap, 123, 14, -8192, 8191), 123);
+  EXPECT_EQ(inj.windows_entered(), 1);
+
+  inj.begin_tick(205);
+  EXPECT_TRUE(std::isnan(inj.filter_period_s(1.25e-6)));
+  EXPECT_EQ(inj.filter_reference_v(0.5), 0.0);
+  EXPECT_EQ(inj.windows_entered(), 2);
+
+  inj.begin_tick(500);
+  EXPECT_FALSE(inj.any_active());
+  EXPECT_EQ(inj.filter_period_s(1.25e-6), 1.25e-6);
+  EXPECT_EQ(inj.windows_entered(), 2);  // re-entering nothing
+}
+
+TEST(FaultInjector, AdcFaultsShapeCodesLikeHardware) {
+  // Stuck code: the configured code, clamped to the converter range.
+  FaultPlan plan;
+  FaultSpec stuck = window(FaultKind::kAdcStuckCode, 0, 10);
+  stuck.value = 20000.0;  // beyond 14-bit full scale
+  plan.entries.push_back(stuck);
+  fault::FaultInjector inj(plan, 0, fault::FaultInjector::Host::kSampleAccurate);
+  inj.begin_tick(0);
+  EXPECT_EQ(inj.filter_adc_code(FaultChannel::kReference, 5, 14, -8192, 8191),
+            8191);
+
+  // Deterministic bit flip (rate 1, fixed bit): XOR at converter width.
+  FaultPlan plan2;
+  FaultSpec flip = window(FaultKind::kAdcBitFlip, 0, 10);
+  flip.rate = 1.0;
+  flip.bit = 3;
+  plan2.entries.push_back(flip);
+  fault::FaultInjector inj2(plan2, 0,
+                            fault::FaultInjector::Host::kSampleAccurate);
+  inj2.begin_tick(0);
+  EXPECT_EQ(inj2.filter_adc_code(FaultChannel::kReference, 100, 14, -8192,
+                                 8191),
+            100 ^ 8);
+  // Flipping the sign bit of the 14-bit word sign-extends: 0 -> -8192.
+  FaultPlan plan3;
+  FaultSpec sign = window(FaultKind::kAdcBitFlip, 0, 10);
+  sign.rate = 1.0;
+  sign.bit = 13;
+  plan3.entries.push_back(sign);
+  fault::FaultInjector inj3(plan3, 0,
+                            fault::FaultInjector::Host::kSampleAccurate);
+  inj3.begin_tick(0);
+  EXPECT_EQ(inj3.filter_adc_code(FaultChannel::kReference, 0, 14, -8192, 8191),
+            -8192);
+}
+
+TEST(FaultInjector, RandomFaultsReplayBitIdenticallyPerSeed) {
+  FaultPlan plan;
+  FaultSpec glitch = window(FaultKind::kRefGlitch, 0, 1000);
+  glitch.value = 0.1;
+  glitch.seed = 42;
+  plan.entries.push_back(glitch);
+
+  const auto draw = [&](std::uint64_t stream_seed) {
+    fault::FaultInjector inj(plan, stream_seed,
+                             fault::FaultInjector::Host::kTurnLevel);
+    std::vector<double> out;
+    for (int t = 0; t < 64; ++t) {
+      inj.begin_tick(t);
+      out.push_back(inj.filter_period_s(1.25e-6));
+    }
+    return out;
+  };
+  EXPECT_EQ(draw(7), draw(7));   // same (plan, stream): bit-identical
+  EXPECT_NE(draw(7), draw(8));   // different stream: decorrelated
+}
+
+TEST(FaultInjector, TurnHostRejectsConverterAndRegisterKinds) {
+  for (const FaultKind kind :
+       {FaultKind::kAdcStuckCode, FaultKind::kAdcBitFlip,
+        FaultKind::kAdcDropout, FaultKind::kParamCorruption}) {
+    FaultPlan plan;
+    plan.name = "turnhost";
+    FaultSpec s = window(kind, 0, 10);
+    s.target = "beam_pulse_scale";  // satisfy the target requirement
+    plan.entries.push_back(s);
+    expect_config_error(
+        [&] {
+          fault::FaultInjector inj(plan, 0,
+                                   fault::FaultInjector::Host::kTurnLevel);
+        },
+        {"fault plan \"turnhost\" entry #0", "sample-accurate"});
+  }
+}
+
+TEST(FaultConfig, BadParamTargetNamedAtFrameworkConstruction) {
+  hil::FrameworkConfig fc = framework_config();
+  FaultSpec bad = window(FaultKind::kParamCorruption, 0, 10);
+  bad.target = "no_such_register";
+  fc.faults.name = "badparam";
+  fc.faults.entries.push_back(bad);
+  expect_config_error([&] { hil::Framework fw(fc); },
+                      {"fault plan \"badparam\" entry #0 (param_corruption)",
+                       "no parameter register named \"no_such_register\""});
+}
+
+TEST(FaultConfig, BadStateTargetNamedAtConstruction) {
+  hil::FrameworkConfig fc = framework_config();
+  FaultSpec bad = window(FaultKind::kStateCorruption, 0, 10);
+  bad.target = "no_such_state";
+  fc.faults.entries.push_back(bad);
+  expect_config_error([&] { hil::Framework fw(fc); }, {"no_such_state"});
+
+  hil::TurnLoopConfig tl = turnloop_config();
+  tl.faults.entries.push_back(bad);
+  expect_config_error([&] { hil::TurnLoop loop(tl); }, {"no_such_state"});
+}
+
+// --- healthy-path byte identity -------------------------------------------
+
+TEST(Supervisor, HealthyTurnLoopByteIdenticalWithSupervisor) {
+  // Enabling the supervisor (empty fault plan) must leave every record of a
+  // healthy run bit-identical — the supervisor is observe-only until a
+  // detector actually fires.
+  constexpr std::int64_t kTurns = 2400;
+  const auto run = [&](bool supervised) {
+    hil::TurnLoopConfig tl = turnloop_config();
+    tl.phase_noise_rad = deg_to_rad(0.3);  // exercise the noise stream too
+    tl.supervisor.enabled = supervised;
+    hil::TurnLoop loop(tl);
+    std::vector<double> series;
+    loop.run(kTurns, [&](const hil::TurnRecord& r) {
+      series.push_back(r.phase_rad);
+      series.push_back(r.dt_s);
+      series.push_back(r.dgamma);
+      series.push_back(r.correction_hz);
+      series.push_back(r.gap_phase_rad);
+    });
+    return series;
+  };
+  const std::vector<double> plain = run(false);
+  const std::vector<double> supervised = run(true);
+  ASSERT_EQ(plain.size(), supervised.size());
+  EXPECT_TRUE(plain == supervised);
+
+  // And the supervisor saw every revolution, found nothing, scrubbed nothing.
+  hil::TurnLoopConfig tl = turnloop_config();
+  tl.supervisor.enabled = true;
+  hil::TurnLoop loop(tl);
+  loop.run(kTurns);
+  ASSERT_NE(loop.supervisor(), nullptr);
+  const hil::SupervisorStats& s = loop.supervisor()->stats();
+  EXPECT_EQ(s.checked_turns, kTurns);
+  EXPECT_EQ(s.faults_detected, 0);
+  EXPECT_EQ(s.rollbacks, 0);
+  EXPECT_EQ(s.held_periods, 0);
+  EXPECT_EQ(s.finite_output_ratio(), 1.0);
+}
+
+TEST(Supervisor, HealthyFrameworkByteIdenticalWithSupervisor) {
+  const auto run = [&](bool supervised) {
+    hil::FrameworkConfig fc = framework_config();
+    fc.adc_noise_rms_v = 0.002;
+    fc.supervisor.enabled = supervised;
+    hil::Framework fw(fc);
+    std::vector<double> series;
+    const auto ticks = kSampleClock.to_ticks(2.0e-3);
+    for (Tick i = 0; i < ticks; ++i) {
+      const hil::FrameworkOutputs out = fw.tick();
+      series.push_back(out.beam_v);
+      series.push_back(out.monitor_v);
+    }
+    series.insert(series.end(), fw.phase_trace().values().begin(),
+                  fw.phase_trace().values().end());
+    return series;
+  };
+  const std::vector<double> plain = run(false);
+  const std::vector<double> supervised = run(true);
+  ASSERT_EQ(plain.size(), supervised.size());
+  EXPECT_TRUE(plain == supervised);
+}
+
+TEST(Supervisor, ZeroTurnStatsAreBenign) {
+  hil::SupervisorConfig cfg;
+  cfg.enabled = true;
+  hil::Supervisor sup(cfg);
+  EXPECT_EQ(sup.stats().finite_output_ratio(), 1.0);
+  EXPECT_EQ(sup.stats().mean_time_to_recovery_turns(), 0.0);
+  EXPECT_FALSE(sup.abort_requested());
+}
+
+// --- per-kind mid-run injection (turn-level host) --------------------------
+
+TEST(FaultTurnLoop, RefDropoutIsDetectedHeldAndRecovered) {
+  constexpr std::int64_t kStart = 1600, kDuration = 200, kTurns = 6400;
+  hil::TurnLoopConfig tl = turnloop_config();
+  FaultSpec drop = window(FaultKind::kRefDropout, kStart, kDuration);
+  tl.faults.name = "refdrop";
+  tl.faults.entries.push_back(drop);
+  tl.supervisor.enabled = true;
+  hil::TurnLoop loop(tl);
+
+  std::vector<double> ts, phases;
+  loop.run(kTurns, [&](const hil::TurnRecord& r) {
+    ASSERT_TRUE(std::isfinite(r.phase_rad));
+    ASSERT_TRUE(std::isfinite(r.dt_s));
+    ts.push_back(r.time_s);
+    phases.push_back(r.phase_rad);
+  });
+
+  ASSERT_NE(loop.injector(), nullptr);
+  EXPECT_EQ(loop.injector()->windows_entered(), 1);
+  const hil::SupervisorStats& s = loop.supervisor()->stats();
+  // One episode: detected when the period went NaN, every dropout turn ran on
+  // the held period, recovered on the first clean turn after the window.
+  EXPECT_EQ(s.faults_detected, 1);
+  EXPECT_EQ(s.recoveries, 1);
+  EXPECT_EQ(s.held_periods, kDuration);
+  EXPECT_GE(s.recovery_turns_total, kDuration);
+  EXPECT_EQ(s.finite_output_ratio(), 1.0);  // states never went bad
+  // Re-convergence: the jump's synchrotron oscillation keeps damping through
+  // and after the fault (the toggle parks the settled phase near 8 deg, so
+  // judge the *swing*, not the offset).
+  const double early = hil::peak_to_peak(ts, phases, 1.0e-3, 2.0e-3);
+  const double late = hil::peak_to_peak(ts, phases, 7.0e-3, 8.0e-3);
+  EXPECT_GT(early, deg_to_rad(6.0));
+  EXPECT_LT(late, 0.35 * early);
+  EXPECT_LT(late, deg_to_rad(3.0));
+}
+
+TEST(FaultTurnLoop, RefGlitchJittersThePeriodWithinGuardRails) {
+  hil::TurnLoopConfig tl = turnloop_config();
+  FaultSpec glitch = window(FaultKind::kRefGlitch, 1200, 400);
+  glitch.value = 0.2;  // 20% rms relative jitter; tolerance is 25%
+  glitch.seed = 3;
+  tl.faults.entries.push_back(glitch);
+  tl.supervisor.enabled = true;
+  hil::TurnLoop loop(tl);
+  loop.run(4000, [&](const hil::TurnRecord& r) {
+    ASSERT_TRUE(std::isfinite(r.phase_rad));
+  });
+  EXPECT_EQ(loop.injector()->windows_entered(), 1);
+  EXPECT_GT(loop.injector()->events(), 0);
+  const hil::SupervisorStats& s = loop.supervisor()->stats();
+  // A 20% rms glitch trips the 25% watchdog repeatedly over 400 turns; each
+  // trip runs on the held period.
+  EXPECT_GE(s.faults_detected, 1);
+  EXPECT_GE(s.held_periods, 1);
+  EXPECT_EQ(s.faults_detected, s.recoveries);  // all episodes closed
+}
+
+TEST(FaultTurnLoop, StateCorruptionRollsBackAndReconverges) {
+  constexpr std::int64_t kStart = 1500, kDuration = 10;
+  hil::TurnLoopConfig tl = turnloop_config();
+  FaultSpec seu = window(FaultKind::kStateCorruption, kStart, kDuration);
+  seu.target = "dt0";
+  seu.bit = 30;  // exponent MSB: a small dt becomes astronomically large
+  seu.rate = 1.0;
+  tl.faults.entries.push_back(seu);
+  tl.supervisor.enabled = true;
+  tl.supervisor.checkpoint_interval_turns = 32;
+  hil::TurnLoop loop(tl);
+
+  std::vector<double> ts, phases;
+  loop.run(6400, [&](const hil::TurnRecord& r) {
+    // Records are taken *after* the supervisor pass: even the corrupted
+    // turns report restored (finite, plausible) states.
+    ASSERT_TRUE(std::isfinite(r.phase_rad));
+    ASSERT_TRUE(std::isfinite(r.dt_s));
+    ASSERT_LT(std::abs(r.dt_s), 1.0);
+    ts.push_back(r.time_s);
+    phases.push_back(r.phase_rad);
+  });
+
+  const hil::SupervisorStats& s = loop.supervisor()->stats();
+  EXPECT_GE(s.rollbacks, 1);
+  EXPECT_GE(s.faults_detected, 1);
+  EXPECT_EQ(s.faults_detected, s.recoveries);
+  EXPECT_LT(s.finite_output_ratio(), 1.0);  // the SEU turns failed the guard
+  EXPECT_GT(s.finite_output_ratio(), 0.99);
+  EXPECT_TRUE(std::isfinite(loop.model().state(
+      cgra::state_handle(loop.kernel(), "dt0"), loop.lane())));
+  // Re-converged after the burst: the oscillation keeps damping.
+  const double late = hil::peak_to_peak(ts, phases, 7.0e-3, 8.0e-3);
+  EXPECT_LT(late, 0.35 * hil::peak_to_peak(ts, phases, 1.0e-3, 2.0e-3));
+  EXPECT_LT(late, deg_to_rad(3.0));
+}
+
+TEST(FaultTurnLoop, StallSkipTurnPolicyHoldsMeasurement) {
+  constexpr std::int64_t kStart = 1000, kDuration = 12;
+  hil::TurnLoopConfig tl = turnloop_config();
+  FaultSpec stall = window(FaultKind::kStallCycles, kStart, kDuration);
+  stall.value = 1.0e6;  // far beyond any revolution budget
+  tl.faults.entries.push_back(stall);
+  tl.supervisor.enabled = true;
+  tl.supervisor.deadline_policy = hil::DeadlinePolicy::kSkipTurn;
+  hil::TurnLoop loop(tl);
+
+  std::vector<double> phases;
+  loop.run(2400, [&](const hil::TurnRecord& r) {
+    ASSERT_TRUE(std::isfinite(r.phase_rad));
+    phases.push_back(r.phase_rad);
+  });
+
+  const hil::SupervisorStats& s = loop.supervisor()->stats();
+  EXPECT_EQ(s.skipped_turns, kDuration);
+  EXPECT_GE(loop.realtime_violations(), kDuration);
+  // Skipped turns hold the previous measurement bit-exactly: exactly
+  // kDuration adjacent-equal pairs around the window (nearby healthy turns
+  // of the damped oscillation never repeat a phase bit for bit).
+  std::int64_t held = 0;
+  for (std::size_t t = static_cast<std::size_t>(kStart) - 20;
+       t < static_cast<std::size_t>(kStart + kDuration) + 20; ++t) {
+    if (phases[t] == phases[t - 1]) ++held;
+  }
+  EXPECT_EQ(held, kDuration);
+  EXPECT_EQ(static_cast<std::int64_t>(phases.size()), 2400);
+}
+
+TEST(FaultTurnLoop, StallHoldOutputsPolicyCounts) {
+  hil::TurnLoopConfig tl = turnloop_config();
+  FaultSpec stall = window(FaultKind::kStallCycles, 1000, 8);
+  stall.value = 1.0e6;
+  tl.faults.entries.push_back(stall);
+  tl.supervisor.enabled = true;
+  tl.supervisor.deadline_policy = hil::DeadlinePolicy::kHoldOutputs;
+  hil::TurnLoop loop(tl);
+  loop.run(2000, [&](const hil::TurnRecord& r) {
+    ASSERT_TRUE(std::isfinite(r.phase_rad));
+  });
+  EXPECT_EQ(loop.supervisor()->stats().held_turns, 8);
+  EXPECT_FALSE(loop.aborted());
+}
+
+TEST(FaultTurnLoop, StallAbortPolicyStopsTheRun) {
+  constexpr std::int64_t kStart = 500;
+  hil::TurnLoopConfig tl = turnloop_config();
+  FaultSpec stall = window(FaultKind::kStallCycles, kStart, 5);
+  stall.value = 1.0e6;
+  tl.faults.entries.push_back(stall);
+  tl.supervisor.enabled = true;
+  tl.supervisor.deadline_policy = hil::DeadlinePolicy::kAbort;
+  hil::TurnLoop loop(tl);
+  loop.run(3200);
+  EXPECT_TRUE(loop.aborted());
+  EXPECT_GE(loop.turn(), kStart);
+  EXPECT_LT(loop.turn(), kStart + 5);
+}
+
+// --- per-kind mid-run injection (sample-accurate host) ---------------------
+
+void run_framework_expect_finite(hil::Framework& fw, double seconds) {
+  const auto ticks = kSampleClock.to_ticks(seconds);
+  for (Tick i = 0; i < ticks; ++i) {
+    const hil::FrameworkOutputs out = fw.tick();
+    ASSERT_TRUE(std::isfinite(out.beam_v));
+    ASSERT_TRUE(std::isfinite(out.monitor_v));
+  }
+}
+
+TEST(FaultFramework, AdcReferenceDropoutWatchdogKeepsBeamAlive) {
+  // The reference channel's converter dies for 1 ms mid-run. Without a
+  // watchdog the crossing detector starves and the beam signal freezes; the
+  // supervisor synthesizes revolutions on the held period instead (§III: the
+  // beam signal must never stop).
+  hil::FrameworkConfig fc = framework_config();
+  FaultSpec drop = window(FaultKind::kAdcDropout, 250000, 250000);
+  drop.channel = FaultChannel::kReference;
+  fc.faults.name = "refadc";
+  fc.faults.entries.push_back(drop);
+  fc.supervisor.enabled = true;
+  hil::Framework fw(fc);
+  run_framework_expect_finite(fw, 2.5e-3);
+
+  ASSERT_NE(fw.injector(), nullptr);
+  EXPECT_EQ(fw.injector()->windows_entered(), 1);
+  const hil::SupervisorStats& s = fw.supervisor()->stats();
+  EXPECT_GE(s.faults_detected, 1);
+  EXPECT_EQ(s.faults_detected, s.recoveries);
+  EXPECT_GE(s.held_periods, 1);
+  // 2.5 ms at 800 kHz = 2000 revolutions; the watchdog loses only the
+  // timeout at the window edges, not the whole millisecond.
+  EXPECT_GT(fw.cgra_runs(), 1900);
+  EXPECT_EQ(s.finite_output_ratio(), 1.0);
+}
+
+TEST(FaultFramework, AdcGapStuckCodeSurvives) {
+  hil::FrameworkConfig fc = framework_config();
+  FaultSpec stuck = window(FaultKind::kAdcStuckCode, 200000, 100000);
+  stuck.channel = FaultChannel::kGap;
+  stuck.value = 2000.0;
+  fc.faults.entries.push_back(stuck);
+  fc.supervisor.enabled = true;
+  hil::Framework fw(fc);
+  run_framework_expect_finite(fw, 2.0e-3);
+  EXPECT_EQ(fw.injector()->windows_entered(), 1);
+  EXPECT_GT(fw.injector()->events(), 0);
+  EXPECT_GT(fw.cgra_runs(), 1500);  // the reference channel never died
+  EXPECT_TRUE(std::isfinite(fw.last_phase_rad()));
+}
+
+TEST(FaultFramework, AdcBitFlipsSurvive) {
+  hil::FrameworkConfig fc = framework_config();
+  FaultSpec flip = window(FaultKind::kAdcBitFlip, 150000, 200000);
+  flip.channel = FaultChannel::kGap;
+  flip.rate = 0.02;
+  flip.seed = 11;
+  fc.faults.entries.push_back(flip);
+  fc.supervisor.enabled = true;
+  hil::Framework fw(fc);
+  run_framework_expect_finite(fw, 2.0e-3);
+  EXPECT_GT(fw.injector()->events(), 0);
+  EXPECT_GT(fw.cgra_runs(), 1500);
+}
+
+TEST(FaultFramework, ParamCorruptionIsScrubbedBack) {
+  // The fault stomps the beam-pulse scale register every tick of its window;
+  // the supervisor's scrubber restores it once per revolution and wins for
+  // good when the window closes.
+  hil::FrameworkConfig fc = framework_config();
+  FaultSpec corrupt = window(FaultKind::kParamCorruption, 200000, 100000);
+  corrupt.target = "beam_pulse_scale";
+  corrupt.value = 0.0;
+  fc.faults.entries.push_back(corrupt);
+  fc.supervisor.enabled = true;
+  hil::Framework fw(fc);
+  run_framework_expect_finite(fw, 2.0e-3);
+
+  const hil::SupervisorStats& s = fw.supervisor()->stats();
+  EXPECT_GT(s.param_restores, 0);
+  EXPECT_GE(s.faults_detected, 1);
+  EXPECT_EQ(s.faults_detected, s.recoveries);
+  EXPECT_EQ(fw.params().get("beam_pulse_scale"), 1.0);  // scrub won
+}
+
+TEST(FaultFramework, StateCorruptionRollsBack) {
+  hil::FrameworkConfig fc = framework_config();
+  FaultSpec seu = window(FaultKind::kStateCorruption, 300000, 2000);
+  seu.target = "dt0";
+  seu.bit = 30;
+  seu.rate = 1.0;
+  fc.faults.entries.push_back(seu);
+  fc.supervisor.enabled = true;
+  hil::Framework fw(fc);
+  run_framework_expect_finite(fw, 2.0e-3);
+  const hil::SupervisorStats& s = fw.supervisor()->stats();
+  EXPECT_GE(s.rollbacks, 1);
+  EXPECT_GE(s.faults_detected, 1);
+  EXPECT_TRUE(std::isfinite(fw.machine().state("dt0")));
+  EXPECT_LT(std::abs(fw.machine().state("dt0")), 1.0);
+}
+
+// --- fault campaigns through the sweep engine ------------------------------
+
+TEST(FaultSweep, CampaignBitIdenticalAcrossThreadsAndLanes) {
+  // A fault campaign (healthy control arm + ref-dropout arm over a small
+  // gain grid) must replay bit-identically at any thread count and lane
+  // width — the sweep engine's headline guarantee extends to faulted runs.
+  hil::TurnLoopConfig tl = turnloop_config();
+  tl.jumps.reset();  // the builder's jump axis supplies the programme
+
+  FaultPlan healthy;
+  healthy.name = "healthy";
+  FaultPlan refdrop;
+  refdrop.name = "refdrop";
+  refdrop.entries.push_back(window(FaultKind::kRefDropout, 400, 200));
+
+  hil::SupervisorConfig sup;
+  sup.enabled = true;
+
+  sweep::SweepConfig config;
+  config.scenarios = sweep::ScenarioGridBuilder::turn_level(tl)
+                         .jump_amplitudes_deg({8.0})
+                         .gains({-3.5, -5.0})
+                         .jump_timing(1.0, 0.4e-3)
+                         .fault_plans({healthy, refdrop})
+                         .supervisor(sup)
+                         .duration_s(4.0e-3)
+                         .build();
+  ASSERT_EQ(config.scenarios.size(), 4u);
+  config.seed = 1234;
+
+  config.threads = 1;
+  config.batch_lanes = 0;
+  const sweep::SweepResult reference = run_sweep(config);
+  const std::string ref_csv = metrics_csv(reference);
+  const std::string ref_json = metrics_json(reference);
+
+  const std::vector<std::pair<unsigned, std::size_t>> combos{
+      {4, 0}, {1, 3}, {4, 3}};
+  for (const auto& [threads, lanes] : combos) {
+    config.threads = threads;
+    config.batch_lanes = lanes;
+    const sweep::SweepResult r = run_sweep(config);
+    EXPECT_EQ(metrics_csv(r), ref_csv)
+        << threads << " threads, " << lanes << " lanes";
+    EXPECT_EQ(metrics_json(r), ref_json);
+  }
+
+  // The report distinguishes the arms: the control arm is clean, the
+  // dropout arm shows one injected and recovered fault per scenario.
+  for (const auto& s : reference.scenarios) {
+    if (s.name.find("refdrop") != std::string::npos) {
+      EXPECT_EQ(s.metrics.faults_injected, 1) << s.name;
+      EXPECT_GE(s.metrics.faults_detected, 1) << s.name;
+      EXPECT_GE(s.metrics.faults_recovered, 1) << s.name;
+      EXPECT_GT(s.metrics.time_to_recovery_turns, 100.0) << s.name;
+    } else {
+      EXPECT_EQ(s.metrics.faults_injected, 0) << s.name;
+      EXPECT_EQ(s.metrics.faults_detected, 0) << s.name;
+      EXPECT_EQ(s.metrics.time_to_recovery_turns, 0.0) << s.name;
+    }
+    EXPECT_EQ(s.metrics.finite_output_ratio, 1.0) << s.name;
+  }
+}
+
+TEST(FaultSweep, SupervisorAloneLeavesSweepReportByteIdentical) {
+  // Enabling the supervisor across a healthy sweep (no fault plans at all)
+  // must not move a single bit of the report — including batched execution.
+  hil::TurnLoopConfig tl = turnloop_config();
+  tl.jumps.reset();
+
+  const auto build = [&](bool supervised) {
+    auto b = sweep::ScenarioGridBuilder::turn_level(tl)
+                 .jump_amplitudes_deg({6.0, 10.0})
+                 .gains({-5.0})
+                 .jump_timing(1.0, 0.4e-3)
+                 .duration_s(3.0e-3);
+    if (supervised) {
+      hil::SupervisorConfig sup;
+      sup.enabled = true;
+      b.supervisor(sup);
+    }
+    sweep::SweepConfig config;
+    config.scenarios = b.build();
+    config.seed = 77;
+    config.threads = 2;
+    config.batch_lanes = 2;
+    return metrics_csv(run_sweep(config));
+  };
+  EXPECT_EQ(build(false), build(true));
+}
+
+}  // namespace
+}  // namespace citl

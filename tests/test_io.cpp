@@ -18,19 +18,19 @@ namespace {
 
 TEST(Csv, HeaderAndRows) {
   const std::string s = io::csv_to_string(
-      {{"t", {1.0, 2.0}}, {"v", {0.5, -0.25}}});
+      {{"t", {1.0, 2.0}, {}}, {"v", {0.5, -0.25}, {}}});
   EXPECT_EQ(s, "t,v\n1,0.5\n2,-0.25\n");
 }
 
 TEST(Csv, RaggedColumnsLeaveEmptyCells) {
   const std::string s =
-      io::csv_to_string({{"a", {1.0}}, {"b", {2.0, 3.0}}});
+      io::csv_to_string({{"a", {1.0}, {}}, {"b", {2.0, 3.0}, {}}});
   EXPECT_EQ(s, "a,b\n1,2\n,3\n");
 }
 
 TEST(Csv, FullPrecisionRoundTrip) {
   const double v = 1.2345678901234567e-7;
-  const std::string s = io::csv_to_string({{"x", {v}}});
+  const std::string s = io::csv_to_string({{"x", {v}, {}}});
   double parsed = 0.0;
   sscanf(s.c_str(), "x\n%lf", &parsed);
   EXPECT_DOUBLE_EQ(parsed, v);
@@ -38,7 +38,7 @@ TEST(Csv, FullPrecisionRoundTrip) {
 
 TEST(Csv, WritesFile) {
   const std::string path = ::testing::TempDir() + "citl_test.csv";
-  io::write_csv(path, {{"x", {1.0, 2.0, 3.0}}});
+  io::write_csv(path, {{"x", {1.0, 2.0, 3.0}, {}}});
   std::ifstream f(path);
   std::string line;
   std::getline(f, line);
@@ -47,8 +47,67 @@ TEST(Csv, WritesFile) {
 }
 
 TEST(Csv, BadPathThrows) {
-  EXPECT_THROW(io::write_csv("/nonexistent-dir/file.csv", {{"x", {}}}),
+  EXPECT_THROW(io::write_csv("/nonexistent-dir/file.csv", {{"x", {}, {}}}),
                ConfigError);
+}
+
+TEST(Csv, EscapeQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(io::csv_escape("plain"), "plain");
+  EXPECT_EQ(io::csv_escape(""), "");
+  EXPECT_EQ(io::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(io::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(io::csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(io::csv_escape("cr\rlf"), "\"cr\rlf\"");
+}
+
+TEST(Csv, TextColumnsAreQuotedInOutput) {
+  io::Column names{"scenario, detailed", {}, {"g=-3.5, jump=8deg", "plain"}};
+  io::Column vals{"x", {1.0, 2.0}, {}};
+  const std::string s = io::csv_to_string({names, vals});
+  EXPECT_EQ(s,
+            "\"scenario, detailed\",x\n"
+            "\"g=-3.5, jump=8deg\",1\n"
+            "plain,2\n");
+}
+
+TEST(Csv, ParseIsInverseOfEscape) {
+  // Every RFC 4180 hazard in one table: commas, quotes, embedded LF and
+  // CRLF inside quoted fields, an empty field, and a CRLF row terminator.
+  const std::vector<std::vector<std::string>> table{
+      {"name", "note"},
+      {"a,b", "say \"hi\""},
+      {"multi\nline", ""},
+      {"crlf\r\ninside", "end"},
+  };
+  std::string text;
+  for (const auto& row : table) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) text += ',';
+      text += io::csv_escape(row[c]);
+    }
+    text += "\r\n";  // writer uses LF; the parser must take CRLF too
+  }
+  EXPECT_EQ(io::parse_csv(text), table);
+}
+
+TEST(Csv, ParseRoundTripsSweepStyleOutput) {
+  io::Column names{"name", {}, {"jump=8deg, g=-3.5", "healthy \"ref\""}};
+  io::Column metric{"f_sync_measured_hz", {1279.5, 1280.25}, {}};
+  const std::string s = io::csv_to_string({names, metric});
+  const auto rows = io::parse_csv(s);
+  ASSERT_EQ(rows.size(), 3u);  // header + 2 data rows; no phantom last row
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], "name");
+  EXPECT_EQ(rows[1][0], "jump=8deg, g=-3.5");
+  EXPECT_EQ(rows[2][0], "healthy \"ref\"");
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][1]), 1279.5);
+  EXPECT_DOUBLE_EQ(std::stod(rows[2][1]), 1280.25);
+}
+
+TEST(Csv, ParseHandlesMissingTrailingNewline) {
+  const auto rows = io::parse_csv("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
 }
 
 TEST(TableTest, AlignedRender) {

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -400,6 +402,43 @@ TEST(ObsDeadline, InvalidBudgetCountsAsMiss) {
   p.record(50.0, 0.0, 0.0);
   EXPECT_EQ(p.misses(), 1);
   EXPECT_EQ(p.bucket_count(DeadlineProfiler::kBuckets), 1u);  // overflow
+}
+
+TEST(ObsDeadline, ZeroRevolutionQuantileIsZero) {
+  // A supervisor-aborted run can end before the first revolution completes;
+  // the quantile of an empty histogram must be a defined number, not a scan
+  // off the end of the buckets.
+  const DeadlineProfiler p;
+  EXPECT_DOUBLE_EQ(p.occupancy_quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.occupancy_quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(p.occupancy_quantile(1.0), 0.0);
+}
+
+TEST(ObsDeadline, NonFiniteInputsLeaveStatsFinite) {
+  // A poisoned period measurement (reference dropout with no watchdog) feeds
+  // NaN/inf budgets into the profiler. Each counts as a miss at pinned
+  // overflow occupancy and the aggregate stats stay NaN-free.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  DeadlineProfiler p;
+  p.record(50.0, 100.0, 1e-3);  // one healthy sample, headroom 0.5
+  p.record(50.0, nan, 2e-3);
+  p.record(nan, 100.0, 3e-3);
+  p.record(50.0, inf, 4e-3);
+  EXPECT_EQ(p.revolutions(), 4);
+  EXPECT_EQ(p.misses(), 3);
+  EXPECT_EQ(p.bucket_count(DeadlineProfiler::kBuckets), 3u);
+
+  const DeadlineStats s = p.stats();
+  EXPECT_TRUE(std::isfinite(s.headroom_min));
+  EXPECT_TRUE(std::isfinite(s.headroom_max));
+  EXPECT_TRUE(std::isfinite(s.headroom_mean));
+  EXPECT_TRUE(std::isfinite(s.headroom_p50));
+  EXPECT_TRUE(std::isfinite(s.headroom_p90));
+  EXPECT_TRUE(std::isfinite(s.headroom_p99));
+  EXPECT_TRUE(std::isfinite(s.worst_overrun_cycles));
+  EXPECT_DOUBLE_EQ(s.headroom_max, 0.5);
+  EXPECT_DOUBLE_EQ(s.headroom_min, 1.0 - DeadlineProfiler::kMaxOccupancy);
 }
 
 TEST(ObsDeadline, QuantilesStayInsideObservedRange) {

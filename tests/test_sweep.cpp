@@ -245,11 +245,13 @@ TEST(SweepReport, CsvAndJsonStructure) {
   const std::string csv = metrics_csv(r);
   const std::string header = csv.substr(0, csv.find('\n'));
   EXPECT_EQ(header,
-            "scenario,seed,f_sync_measured_hz,damping_tau_s,first_swing_rad,"
-            "steady_rms_rad,settled_phase_rad,realtime_violations,cgra_runs,"
-            "sim_time_s,schedule_cycles,deadline_headroom_min,"
-            "deadline_headroom_p50,deadline_headroom_p99,"
-            "worst_overrun_cycles,f_sync_reference_hz");
+            "name,scenario,seed,f_sync_measured_hz,damping_tau_s,"
+            "first_swing_rad,steady_rms_rad,settled_phase_rad,"
+            "realtime_violations,cgra_runs,sim_time_s,schedule_cycles,"
+            "deadline_headroom_min,deadline_headroom_p50,"
+            "deadline_headroom_p99,worst_overrun_cycles,f_sync_reference_hz,"
+            "faults_injected,faults_detected,faults_recovered,"
+            "time_to_recovery_turns,finite_output_ratio");
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
 
   // Timing columns stay out of the deterministic report but exist on demand.
