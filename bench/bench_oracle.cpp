@@ -1,0 +1,180 @@
+// Differential-oracle cost: what cross-fidelity checking adds on top of the
+// loop it checks.
+//
+// An oracle run executes the scenario through two fidelities and compares
+// four quantities per turn (or per checkpoint window when strided), so the
+// floor is roughly "two loops plus bookkeeping". This bench pins that ratio
+// for the exact pair (host-f64 vs serial-f64), the mixed-precision pair
+// (host-f64 vs serial-f32) and the full hunt on a perturbed kernel —
+// detection, rollback bisection and confirmation scan included.
+//
+// The summary is written to `BENCH_oracle.json` (override with `--out <path>`;
+// `--out -` disables the file).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cgra/schedule.hpp"
+#include "core/units.hpp"
+#include "hil/turnloop.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+#include "oracle/oracle.hpp"
+
+using namespace citl;
+
+namespace {
+
+constexpr std::int64_t kTurns = 4000;  // 5 ms at 800 kHz
+
+hil::TurnLoopConfig loop_config() {
+  hil::TurnLoopConfig config;
+  config.kernel.pipelined = true;
+  config.f_ref_hz = 800.0e3;
+  config.gap_voltage_v = 4860.0;
+  config.jumps = ctrl::PhaseJumpProgramme(deg_to_rad(8.0), 1.0, 0.8e-3);
+  return config;
+}
+
+oracle::OracleConfig oracle_config(oracle::Fidelity reference,
+                                   oracle::Fidelity candidate) {
+  oracle::OracleConfig oc;
+  oc.reference = reference;
+  oc.candidate = candidate;
+  oc.turns = kTurns;
+  oc.checkpoint_stride = 64;
+  oc.shrink = false;
+  return oc;
+}
+
+std::shared_ptr<const cgra::CompiledKernel> perturbed_kernel(
+    const hil::TurnLoopConfig& config) {
+  const hil::TurnLoop probe(config);
+  return std::make_shared<cgra::CompiledKernel>(
+      oracle::perturb_kernel_constant(probe.kernel(),
+                                      config.kernel.ring.circumference_m,
+                                      cgra::Precision::kFloat32));
+}
+
+template <typename Fn>
+double seconds_of(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void print_report(const std::string& json_path) {
+  std::printf("differential-oracle cost, %lld turn-level revolutions each\n\n",
+              static_cast<long long>(kTurns));
+  const hil::TurnLoopConfig config = loop_config();
+
+  const double bare_s = seconds_of([&] {
+    hil::TurnLoop loop(config);
+    loop.run(kTurns);
+  });
+  const double exact_s = seconds_of([&] {
+    (void)oracle::run_oracle(config, oracle_config(oracle::Fidelity::kHostF64,
+                                                   oracle::Fidelity::kSerialF64));
+  });
+  const double mixed_s = seconds_of([&] {
+    (void)oracle::run_oracle(config, oracle_config(oracle::Fidelity::kHostF64,
+                                                   oracle::Fidelity::kSerialF32));
+  });
+  oracle::OracleConfig hunt = oracle_config(oracle::Fidelity::kSerialF32,
+                                            oracle::Fidelity::kSerialF32);
+  hunt.candidate_kernel = perturbed_kernel(config);
+  hunt.shrink = true;
+  const double hunt_s =
+      seconds_of([&] { (void)oracle::run_oracle(config, hunt); });
+
+  const auto ratio = [&](double s) {
+    return bare_s > 0.0 ? io::Table::num(s / bare_s, 3) + "x" : "-";
+  };
+  io::Table t({"configuration", "wall [ms]", "vs bare loop"});
+  t.add_row({"bare turn loop", io::Table::num(bare_s * 1e3, 4), "-"});
+  t.add_row({"oracle host-f64 vs serial-f64", io::Table::num(exact_s * 1e3, 4),
+             ratio(exact_s)});
+  t.add_row({"oracle host-f64 vs serial-f32", io::Table::num(mixed_s * 1e3, 4),
+             ratio(mixed_s)});
+  t.add_row({"hunt: detect+bisect+shrink", io::Table::num(hunt_s * 1e3, 4),
+             ratio(hunt_s)});
+  std::printf("%s\n", t.render().c_str());
+
+  if (!json_path.empty()) {
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("benchmark").value(std::string_view("bench_oracle"));
+    w.key("turns").value(static_cast<std::uint64_t>(kTurns));
+    w.key("bare_loop_s").value(bare_s);
+    w.key("oracle_exact_s").value(exact_s);
+    w.key("oracle_mixed_s").value(mixed_s);
+    w.key("hunt_s").value(hunt_s);
+    w.end_object();
+    io::write_text_file(json_path, w.str() + "\n");
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+}
+
+void BM_OracleExactPair(benchmark::State& state) {
+  const hil::TurnLoopConfig config = loop_config();
+  const oracle::OracleConfig oc = oracle_config(
+      oracle::Fidelity::kHostF64, oracle::Fidelity::kSerialF64);
+  for (auto _ : state) {
+    const oracle::OracleReport rep = oracle::run_oracle(config, oc);
+    benchmark::DoNotOptimize(rep.max_ulp_err);
+  }
+  state.SetItemsProcessed(state.iterations() * kTurns);
+}
+BENCHMARK(BM_OracleExactPair)->Unit(benchmark::kMillisecond);
+
+void BM_OracleMixedPair(benchmark::State& state) {
+  const hil::TurnLoopConfig config = loop_config();
+  const oracle::OracleConfig oc = oracle_config(
+      oracle::Fidelity::kHostF64, oracle::Fidelity::kSerialF32);
+  for (auto _ : state) {
+    const oracle::OracleReport rep = oracle::run_oracle(config, oc);
+    benchmark::DoNotOptimize(rep.max_ulp_err);
+  }
+  state.SetItemsProcessed(state.iterations() * kTurns);
+}
+BENCHMARK(BM_OracleMixedPair)->Unit(benchmark::kMillisecond);
+
+void BM_OracleHuntPerturbed(benchmark::State& state) {
+  // Full pipeline on a one-ULP perturbed kernel: strided detection, rollback
+  // bisection, confirmation scan and scenario shrinking.
+  const hil::TurnLoopConfig config = loop_config();
+  oracle::OracleConfig oc = oracle_config(oracle::Fidelity::kSerialF32,
+                                          oracle::Fidelity::kSerialF32);
+  oc.candidate_kernel = perturbed_kernel(config);
+  oc.shrink = true;
+  for (auto _ : state) {
+    const oracle::OracleReport rep = oracle::run_oracle(config, oc);
+    benchmark::DoNotOptimize(rep.first_divergent_turn);
+  }
+  state.SetItemsProcessed(state.iterations() * kTurns);
+}
+BENCHMARK(BM_OracleHuntPerturbed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_oracle.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      json_path = argv[i + 1];
+      if (json_path == "-") json_path.clear();
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  print_report(json_path);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -79,17 +79,12 @@ double BatchedCgraMachine::quantise(double v) const noexcept {
 
 void BatchedCgraMachine::check_lane(std::size_t lane) const {
   if (lane >= lanes_) {
-    throw ConfigError("lane " + std::to_string(lane) +
-                      " out of range in kernel '" + kernel_->name + "' (" +
-                      std::to_string(lanes_) + " lanes)");
+    detail::throw_lane_out_of_range(*kernel_, lane, lanes_);
   }
 }
 
 void BatchedCgraMachine::check_handle(bool valid, const char* what) const {
-  if (!valid) {
-    throw ConfigError(std::string("invalid ") + what +
-                      " handle for kernel '" + kernel_->name + "'");
-  }
+  if (!valid) detail::throw_invalid_handle(*kernel_, what);
 }
 
 void BatchedCgraMachine::set_param(ParamHandle h, double value,
@@ -142,6 +137,20 @@ void BatchedCgraMachine::restore_states(std::size_t lane,
   // lane's column is touched — siblings are unaffected.
   const std::size_t n = state_vals_.size() / (lanes_ > 0 ? lanes_ : 1);
   for (std::size_t s = 0; s < n; ++s) state_vals_[s * lanes_ + lane] = values[s];
+}
+
+void BatchedCgraMachine::snapshot_pipe_regs(std::size_t lane,
+                                            double* out) const {
+  check_lane(lane);
+  const std::size_t n = pipe_regs_.size() / (lanes_ > 0 ? lanes_ : 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = pipe_regs_[i * lanes_ + lane];
+}
+
+void BatchedCgraMachine::restore_pipe_regs(std::size_t lane,
+                                           const double* values) {
+  check_lane(lane);
+  const std::size_t n = pipe_regs_.size() / (lanes_ > 0 ? lanes_ : 1);
+  for (std::size_t i = 0; i < n; ++i) pipe_regs_[i * lanes_ + lane] = values[i];
 }
 
 double BatchedCgraMachine::value(NodeId node, std::size_t lane) const {

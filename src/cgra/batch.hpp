@@ -78,6 +78,8 @@ class BatchedCgraMachine final : public BeamModel {
 
   void snapshot_states(std::size_t lane, double* out) const override;
   void restore_states(std::size_t lane, const double* values) override;
+  void snapshot_pipe_regs(std::size_t lane, double* out) const override;
+  void restore_pipe_regs(std::size_t lane, const double* values) override;
 
   /// One functional iteration on every lane; returns the CGRA clock ticks
   /// one iteration occupies (== schedule length).

@@ -30,6 +30,23 @@ namespace {
 
 }  // namespace
 
+namespace detail {
+
+void throw_invalid_handle(const CompiledKernel& kernel, const char* what) {
+  throw ConfigError(std::string("invalid ") + what + " handle for kernel '" +
+                    kernel.name + "'");
+}
+
+void throw_lane_out_of_range(const CompiledKernel& kernel, std::size_t lane,
+                             std::size_t lanes) {
+  throw ConfigError("lane " + std::to_string(lane) +
+                    " out of range in kernel '" + kernel.name + "' (" +
+                    std::to_string(lanes) +
+                    (lanes == 1 ? " lane)" : " lanes)"));
+}
+
+}  // namespace detail
+
 ParamHandle param_handle(const CompiledKernel& kernel, std::string_view name) {
   const ParamHandle h = find_param(kernel, name);
   if (!h.valid()) throw_unknown(kernel, "parameter", name);
@@ -95,19 +112,14 @@ void CgraMachine::reset() {
 }
 
 void CgraMachine::check_lane(std::size_t lane) const {
-  if (lane != 0) {
-    throw ConfigError("lane " + std::to_string(lane) +
-                      " out of range in kernel '" + kernel_->name +
-                      "' (CgraMachine has 1 lane)");
-  }
+  if (lane != 0) detail::throw_lane_out_of_range(*kernel_, lane, 1);
 }
 
 void CgraMachine::set_param(ParamHandle h, double value, std::size_t lane) {
   check_lane(lane);
   if (!h.valid() ||
       static_cast<std::size_t>(h.index) >= param_vals_.size()) {
-    throw ConfigError("invalid parameter handle for kernel '" +
-                      kernel_->name + "'");
+    detail::throw_invalid_handle(*kernel_, "parameter");
   }
   param_vals_[static_cast<std::size_t>(h.index)] = quantise(value);
 }
@@ -116,8 +128,7 @@ double CgraMachine::param(ParamHandle h, std::size_t lane) const {
   check_lane(lane);
   if (!h.valid() ||
       static_cast<std::size_t>(h.index) >= param_vals_.size()) {
-    throw ConfigError("invalid parameter handle for kernel '" +
-                      kernel_->name + "'");
+    detail::throw_invalid_handle(*kernel_, "parameter");
   }
   return param_vals_[static_cast<std::size_t>(h.index)];
 }
@@ -126,8 +137,7 @@ double CgraMachine::state(StateHandle h, std::size_t lane) const {
   check_lane(lane);
   if (!h.valid() ||
       static_cast<std::size_t>(h.index) >= state_vals_.size()) {
-    throw ConfigError("invalid state handle for kernel '" + kernel_->name +
-                      "'");
+    detail::throw_invalid_handle(*kernel_, "state");
   }
   return state_vals_[static_cast<std::size_t>(h.index)];
 }
@@ -144,12 +154,21 @@ void CgraMachine::restore_states(std::size_t lane, const double* values) {
   for (std::size_t s = 0; s < state_vals_.size(); ++s) state_vals_[s] = values[s];
 }
 
+void CgraMachine::snapshot_pipe_regs(std::size_t lane, double* out) const {
+  check_lane(lane);
+  for (std::size_t i = 0; i < pipe_regs_.size(); ++i) out[i] = pipe_regs_[i];
+}
+
+void CgraMachine::restore_pipe_regs(std::size_t lane, const double* values) {
+  check_lane(lane);
+  for (std::size_t i = 0; i < pipe_regs_.size(); ++i) pipe_regs_[i] = values[i];
+}
+
 void CgraMachine::set_state(StateHandle h, double value, std::size_t lane) {
   check_lane(lane);
   if (!h.valid() ||
       static_cast<std::size_t>(h.index) >= state_vals_.size()) {
-    throw ConfigError("invalid state handle for kernel '" + kernel_->name +
-                      "'");
+    detail::throw_invalid_handle(*kernel_, "state");
   }
   state_vals_[static_cast<std::size_t>(h.index)] = quantise(value);
 }

@@ -56,6 +56,18 @@ struct StateHandle {
 [[nodiscard]] StateHandle find_state(const CompiledKernel& kernel,
                                      std::string_view name) noexcept;
 
+namespace detail {
+/// Shared ConfigError construction for every kernel-executing machine, so a
+/// stale handle or an out-of-range lane reports identically (kernel + key
+/// naming) whether CgraMachine or BatchedCgraMachine raised it — and the
+/// string-keyed wrappers, which resolve through param_handle/state_handle,
+/// report identically to a direct handle lookup.
+[[noreturn]] void throw_invalid_handle(const CompiledKernel& kernel,
+                                       const char* what);
+[[noreturn]] void throw_lane_out_of_range(const CompiledKernel& kernel,
+                                          std::size_t lane, std::size_t lanes);
+}  // namespace detail
+
 /// Common interface of the kernel-executing machines: CgraMachine is the
 /// single-lane implementation, BatchedCgraMachine (batch.hpp) runs N lanes
 /// of the same kernel in lockstep. hil::Framework, hil::TurnLoop and the
@@ -102,6 +114,21 @@ class BeamModel {
   /// still hold post-fault values for one iteration.
   virtual void restore_states(std::size_t lane, const double* values) = 0;
 
+  /// Cross-iteration pipeline registers: the stage-0 node values latched by
+  /// the previous iteration, read by the next iteration's stage-1 operations
+  /// (one slot per DFG node). Loop-carried state therefore = states + pipe
+  /// regs; the oracle's checkpoints snapshot both so a rollback replays the
+  /// trajectory bit-exactly even on pipelined kernels. The Supervisor's
+  /// state-only image stays intentionally smaller (a rollback there accepts
+  /// one iteration of post-fault pipe values).
+  [[nodiscard]] virtual std::size_t pipe_reg_count() const noexcept {
+    return kernel().dfg.size();
+  }
+  /// Copies one lane's pipeline registers into `out[0 .. pipe_reg_count())`.
+  virtual void snapshot_pipe_regs(std::size_t lane, double* out) const = 0;
+  /// Restores one lane's pipeline registers, bit-exactly.
+  virtual void restore_pipe_regs(std::size_t lane, const double* values) = 0;
+
   // Handle resolution against this model's kernel.
   [[nodiscard]] ParamHandle param_handle(std::string_view name) const {
     return cgra::param_handle(kernel(), name);
@@ -131,6 +158,8 @@ class CgraMachine final : public BeamModel {
 
   void snapshot_states(std::size_t lane, double* out) const override;
   void restore_states(std::size_t lane, const double* values) override;
+  void snapshot_pipe_regs(std::size_t lane, double* out) const override;
+  void restore_pipe_regs(std::size_t lane, const double* values) override;
 
   // --- string-keyed access (deprecated wrappers) --------------------------
   // Resolve a handle per call and delegate; fine for consoles and tests,

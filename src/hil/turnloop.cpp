@@ -191,6 +191,55 @@ void TurnLoop::displace(double dgamma, double dt_s) {
   model_->set_state(h_dt0_, dt_s, lane_);
 }
 
+TurnLoop::Checkpoint TurnLoop::checkpoint() const {
+  CITL_CHECK_MSG(model_ != nullptr, "no model attached");
+  CITL_CHECK_MSG(!turn_open_, "checkpoint() inside an open turn");
+  CITL_CHECK_MSG(injector_ == nullptr && supervisor_ == nullptr,
+                 "checkpoint() with fault injection or supervision: their "
+                 "internal state is not part of the image");
+  Checkpoint cp(controller_, decimator_);
+  cp.time_s = time_s_;
+  cp.turn = turn_;
+  cp.control_on = control_on_;
+  cp.ctrl_phase_rad = ctrl_phase_rad_;
+  cp.correction_hz = correction_hz_;
+  cp.last_phase = last_phase_;
+  cp.budget_cycles = budget_cycles_;
+  cp.realtime_violations = realtime_violations_;
+  cp.noise = noise_;
+  cp.deadline = deadline_;
+  cp.states.resize(model_->state_count());
+  model_->snapshot_states(lane_, cp.states.data());
+  cp.pipe_regs.resize(model_->pipe_reg_count());
+  model_->snapshot_pipe_regs(lane_, cp.pipe_regs.data());
+  return cp;
+}
+
+void TurnLoop::restore(const Checkpoint& cp) {
+  CITL_CHECK_MSG(model_ != nullptr, "no model attached");
+  CITL_CHECK_MSG(!turn_open_, "restore() inside an open turn");
+  CITL_CHECK_MSG(injector_ == nullptr && supervisor_ == nullptr,
+                 "restore() with fault injection or supervision: their "
+                 "internal state is not part of the image");
+  CITL_CHECK_MSG(cp.states.size() == model_->state_count() &&
+                     cp.pipe_regs.size() == model_->pipe_reg_count(),
+                 "checkpoint image does not match the attached model");
+  time_s_ = cp.time_s;
+  turn_ = cp.turn;
+  control_on_ = cp.control_on;
+  ctrl_phase_rad_ = cp.ctrl_phase_rad;
+  correction_hz_ = cp.correction_hz;
+  last_phase_ = cp.last_phase;
+  budget_cycles_ = cp.budget_cycles;
+  realtime_violations_ = cp.realtime_violations;
+  controller_ = cp.controller;
+  decimator_ = cp.decimator;
+  noise_ = cp.noise;
+  deadline_ = cp.deadline;
+  model_->restore_states(lane_, cp.states.data());
+  model_->restore_pipe_regs(lane_, cp.pipe_regs.data());
+}
+
 void TurnLoop::begin_turn() {
   CITL_CHECK_MSG(model_ != nullptr, "no model attached");
   CITL_CHECK_MSG(!turn_open_, "begin_turn() without finish_turn()");

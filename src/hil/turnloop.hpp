@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "cgra/kernels.hpp"
 #include "cgra/machine.hpp"
@@ -165,6 +166,39 @@ class TurnLoop {
 
   /// Opens/closes the phase control loop at runtime.
   void enable_control(bool on) noexcept { control_on_ = on; }
+
+  // --- checkpoint / rollback (oracle divergence bisection) ----------------
+  /// Full image of the loop at a turn boundary: loop bookkeeping (time,
+  /// turn counter, control/controller/decimator/noise state, deadline
+  /// accounting) plus the model lane's loop-carried states AND pipeline
+  /// registers — restoring replays the subsequent turns bit-exactly.
+  /// Opaque: produce with checkpoint(), consume with restore().
+  struct Checkpoint {
+    double time_s = 0.0;
+    std::int64_t turn = 0;
+    bool control_on = true;
+    double ctrl_phase_rad = 0.0;
+    double correction_hz = 0.0;
+    double last_phase = 0.0;
+    double budget_cycles = 0.0;
+    std::int64_t realtime_violations = 0;
+    ctrl::BeamPhaseController controller;
+    ctrl::PhaseDecimator decimator;
+    Rng noise;
+    obs::DeadlineProfiler deadline;
+    std::vector<double> states;     ///< model lane states (by state index)
+    std::vector<double> pipe_regs;  ///< model lane pipeline registers
+
+    Checkpoint(const ctrl::BeamPhaseController& c, const ctrl::PhaseDecimator& d)
+        : controller(c), decimator(d) {}
+  };
+
+  /// Captures the loop + model-lane state between turns. Only legal on
+  /// fault-free, unsupervised loops (injector/supervisor state is not part
+  /// of the image) and with no turn open.
+  [[nodiscard]] Checkpoint checkpoint() const;
+  /// Rolls the loop + model lane back to a checkpoint() image, bit-exactly.
+  void restore(const Checkpoint& cp);
 
   /// The fault injector driving this run (nullptr on a fault-free run).
   [[nodiscard]] const fault::FaultInjector* injector() const noexcept {

@@ -1,13 +1,35 @@
 #include "io/csv.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "core/error.hpp"
 
 namespace citl::io {
+
+namespace {
+
+/// Writes one numeric cell. Non-finite values get canonical spellings:
+/// stream insertion of NaN/inf is platform text ("nan", "-nan(ind)",
+/// "1.#INF", ...), which would corrupt the robustness columns that can
+/// legitimately carry non-finite metrics next to finite_output_ratio.
+void put_number(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "nan";
+  } else if (std::isinf(v)) {
+    os << (v < 0.0 ? "-inf" : "inf");
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
 
 std::string csv_escape(std::string_view field) {
   const bool needs_quoting =
@@ -41,12 +63,50 @@ std::string csv_to_string(const std::vector<Column>& columns) {
       if (col.is_text()) {
         if (r < col.labels.size()) os << csv_escape(col.labels[r]);
       } else if (r < col.values.size()) {
-        os << col.values[r];
+        put_number(os, col.values[r]);
       }
     }
     os << '\n';
   }
   return os.str();
+}
+
+std::string csv_format_number(double value) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  put_number(os, value);
+  return os.str();
+}
+
+double csv_parse_number(std::string_view field) {
+  const auto fail = [&]() -> double {
+    throw ConfigError("not a numeric CSV cell: '" + std::string(field) + "'");
+  };
+  std::string_view body = field;
+  double sign = 1.0;
+  if (!body.empty() && (body.front() == '+' || body.front() == '-')) {
+    if (body.front() == '-') sign = -1.0;
+    body.remove_prefix(1);
+  }
+  const auto equals_ci = [&](std::string_view word) {
+    if (body.size() != word.size()) return false;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(body[i])) != word[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (equals_ci("nan")) return std::numeric_limits<double>::quiet_NaN();
+  if (equals_ci("inf") || equals_ci("infinity")) {
+    return sign * std::numeric_limits<double>::infinity();
+  }
+  if (field.empty()) fail();
+  const std::string cell(field);  // strtod needs a terminator
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) fail();
+  return v;
 }
 
 std::vector<std::vector<std::string>> parse_csv(std::string_view text) {

@@ -36,6 +36,19 @@ void write_csv(const std::string& path, const std::vector<Column>& columns);
 /// no quoting, otherwise wrapped in '"' with embedded quotes doubled.
 [[nodiscard]] std::string csv_escape(std::string_view field);
 
+/// Formats one numeric cell exactly as csv_to_string does: full round-trip
+/// precision, and the canonical spellings `nan`, `inf`, `-inf` for
+/// non-finite values (stream insertion of a NaN is platform text like
+/// "-nan(ind)", which csv_parse_number could not reload).
+[[nodiscard]] std::string csv_format_number(double value);
+
+/// Parses a numeric cell written by csv_format_number: accepts the canonical
+/// non-finite spellings (case-insensitive, optional sign) and ordinary
+/// decimal/scientific literals. Throws ConfigError naming the field when the
+/// cell is empty or not a number — the round trip with csv_format_number is
+/// a tested invariant.
+[[nodiscard]] double csv_parse_number(std::string_view field);
+
 /// Parses RFC 4180 CSV text into rows of fields: quoted fields (including
 /// embedded commas, doubled quotes and embedded line breaks), CRLF and LF
 /// line endings. A trailing newline does not produce an empty row. The

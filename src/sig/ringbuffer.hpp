@@ -32,6 +32,11 @@ class CaptureBuffer {
   void write(Tick now, double sample) noexcept {
     data_[static_cast<std::size_t>(now) & mask_] = sample;
     newest_ = now;
+    // Saturating fill count: the guard admits increments while
+    // count_ <= mask_, so count_ tops out at mask_ + 1 == capacity() — a
+    // full buffer reports size() == capacity() and a capacity()-wide
+    // retained window (pinned by the CaptureBuffer full-capacity and wrap
+    // regressions; the ≥2-reference-period guarantee depends on it).
     if (count_ <= mask_) ++count_;
   }
 

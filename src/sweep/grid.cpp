@@ -96,6 +96,11 @@ ScenarioGridBuilder& ScenarioGridBuilder::supervisor(
   return *this;
 }
 
+ScenarioGridBuilder& ScenarioGridBuilder::oracle(oracle::OracleSpec spec) {
+  base_.oracle = spec;
+  return *this;
+}
+
 ScenarioGridBuilder& ScenarioGridBuilder::duration_s(double seconds) {
   base_.duration_s = seconds;
   return *this;

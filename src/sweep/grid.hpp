@@ -57,6 +57,10 @@ class ScenarioGridBuilder {
   /// Supervisor configuration applied to every scenario (typically enabled
   /// together with fault_plans()).
   ScenarioGridBuilder& supervisor(hil::SupervisorConfig config);
+  /// Differential-oracle spec applied to every scenario (turn-level grids
+  /// only; run_sweep rejects the combination with a sample-accurate engine).
+  /// Adds the max_ulp_err / first_divergent_turn metric columns.
+  ScenarioGridBuilder& oracle(oracle::OracleSpec spec);
 
   ScenarioGridBuilder& duration_s(double seconds);
   ScenarioGridBuilder& f_sync_nominal_hz(double hz);

@@ -49,6 +49,13 @@ struct ScenarioMetrics {
   std::int64_t faults_recovered = 0;  ///< episodes closed by a clean turn
   double time_to_recovery_turns = 0.0;  ///< mean episode length [turns]
   double finite_output_ratio = 1.0;   ///< fraction of turns with finite state
+  // -- cross-fidelity oracle (src/oracle/, opt-in via Scenario::oracle) --
+  // Deterministic: the oracle re-runs the scenario (same derived seed)
+  // through a reference/candidate fidelity pair. max_ulp_err is the largest
+  // observed ULP distance (saturated at 2^53; 0 without an oracle or under
+  // bit identity); first_divergent_turn is -1 while within budget.
+  double max_ulp_err = 0.0;
+  std::int64_t first_divergent_turn = -1;
   // -- timing (measured, deliberately excluded from determinism checks) --
   double wall_time_s = 0.0;
   double wall_over_sim = 0.0;       ///< < 1 means faster than real time

@@ -35,6 +35,8 @@ std::vector<io::Column> metrics_columns(const SweepResult& result,
   io::Column f_rec = column("faults_recovered");
   io::Column f_ttr = column("time_to_recovery_turns");
   io::Column f_fin = column("finite_output_ratio");
+  io::Column ulp_err = column("max_ulp_err");
+  io::Column div_turn = column("first_divergent_turn");
   io::Column wall = column("wall_time_s");
   io::Column ratio = column("wall_over_sim");
 
@@ -63,6 +65,9 @@ std::vector<io::Column> metrics_columns(const SweepResult& result,
     f_rec.values.push_back(static_cast<double>(s.metrics.faults_recovered));
     f_ttr.values.push_back(s.metrics.time_to_recovery_turns);
     f_fin.values.push_back(s.metrics.finite_output_ratio);
+    ulp_err.values.push_back(s.metrics.max_ulp_err);
+    div_turn.values.push_back(
+        static_cast<double>(s.metrics.first_divergent_turn));
     wall.values.push_back(s.metrics.wall_time_s);
     ratio.values.push_back(s.metrics.wall_over_sim);
   }
@@ -75,7 +80,8 @@ std::vector<io::Column> metrics_columns(const SweepResult& result,
       std::move(sched_cycles), std::move(hr_min),  std::move(hr_p50),
       std::move(hr_p99),       std::move(overrun), std::move(f_ref),
       std::move(f_inj),        std::move(f_det),   std::move(f_rec),
-      std::move(f_ttr),        std::move(f_fin)};
+      std::move(f_ttr),        std::move(f_fin),  std::move(ulp_err),
+      std::move(div_turn)};
   if (include_timing) {
     cols.push_back(std::move(wall));
     cols.push_back(std::move(ratio));
@@ -134,6 +140,10 @@ std::string metrics_json(const SweepResult& result, bool include_timing) {
     w.key("recovered").value(s.metrics.faults_recovered);
     w.key("time_to_recovery_turns").value(s.metrics.time_to_recovery_turns);
     w.key("finite_output_ratio").value(s.metrics.finite_output_ratio);
+    w.end_object();
+    w.key("oracle").begin_object();
+    w.key("max_ulp_err").value(s.metrics.max_ulp_err);
+    w.key("first_divergent_turn").value(s.metrics.first_divergent_turn);
     w.end_object();
     if (include_timing) {
       w.key("wall_time_s").value(s.metrics.wall_time_s);

@@ -1,5 +1,6 @@
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <map>
@@ -8,6 +9,7 @@
 #include <span>
 
 #include "cgra/batch.hpp"
+#include "core/error.hpp"
 #include "core/units.hpp"
 #include "ctrl/controller.hpp"
 #include "hil/experiment.hpp"
@@ -250,6 +252,30 @@ void finalize_turn_result(const Scenario& scenario, hil::TurnLoop& loop,
                                    scenario.turnloop.f_ref_hz);
 }
 
+/// Opt-in oracle axis: re-runs the (turn-level) scenario through the spec's
+/// fidelity pair and fills the two oracle metric columns. Runs identically
+/// from the serial and the chunked path — the oracle constructs its own
+/// loops from (scenario config, derived seed) alone, so the sweep's
+/// byte-identity guarantee extends to these columns.
+void run_scenario_oracle(const Scenario& scenario, std::uint64_t seed,
+                         ScenarioMetrics& metrics) {
+  if (!scenario.oracle.enabled) return;
+  hil::TurnLoopConfig tc = scenario.turnloop;
+  tc.noise_seed = seed;
+  oracle::OracleConfig oc;
+  oc.reference = scenario.oracle.reference;
+  oc.candidate = scenario.oracle.candidate;
+  oc.budget = scenario.oracle.budget;
+  oc.checkpoint_stride = scenario.oracle.checkpoint_stride;
+  oc.turns = std::max<std::int64_t>(1, turn_count(scenario));
+  // Sweeps only report the columns; minimising and archiving a divergence is
+  // the oracle_hunt driver's job.
+  oc.shrink = false;
+  const oracle::OracleReport rep = oracle::run_oracle(tc, oc);
+  metrics.max_ulp_err = rep.max_ulp_err;
+  metrics.first_divergent_turn = rep.first_divergent_turn;
+}
+
 // --- per-scenario (serial) runners ------------------------------------------
 
 ScenarioResult run_framework_scenario(const Scenario& scenario,
@@ -319,6 +345,7 @@ ScenarioResult run_turn_scenario(const Scenario& scenario, std::size_t index,
       scenario, loop, std::move(ts), std::move(phases),
       std::chrono::duration<double>(wall_end - wall_begin).count(),
       collect_traces, out);
+  run_scenario_oracle(scenario, seed, out.metrics);
   if (scenario.ensemble_reference) {
     run_ensemble_reference(scenario, seed, out);
   }
@@ -485,6 +512,7 @@ void run_turn_chunk(const SweepConfig& config,
     finalize_turn_result(scenario, *loops[k], std::move(ts[k]),
                          std::move(phases[k]), wall_s, config.collect_traces,
                          out);
+    run_scenario_oracle(scenario, out.seed, out.metrics);
     if (scenario.ensemble_reference) {
       run_ensemble_reference(scenario, out.seed, out);
     }
@@ -529,6 +557,16 @@ SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool) {
   KernelCache local_cache;
   KernelCache& cache = config.cache != nullptr ? *config.cache : local_cache;
   const std::size_t compilations_before = cache.compilations();
+
+  for (const auto& scenario : config.scenarios) {
+    if (scenario.oracle.enabled &&
+        scenario.engine != ScenarioEngine::kTurnLevel) {
+      throw ConfigError("sweep: scenario '" + scenario.name +
+                        "' enables the differential oracle on a "
+                        "sample-accurate engine; the oracle's fidelities are "
+                        "all turn-granular");
+    }
+  }
 
   SweepResult result;
   result.scenarios.resize(config.scenarios.size());

@@ -24,6 +24,7 @@
 #include "core/parallel.hpp"
 #include "hil/framework.hpp"
 #include "hil/turnloop.hpp"
+#include "oracle/oracle.hpp"
 #include "sweep/kernel_cache.hpp"
 #include "sweep/metrics.hpp"
 
@@ -51,6 +52,12 @@ struct Scenario {
   bool ensemble_reference = false;
   std::size_t ensemble_particles = 2000;
   double ensemble_sigma_dt_s = 25.0e-9;
+  /// Opt-in differential oracle (turn-level scenarios only): the scenario is
+  /// re-run through the spec's reference/candidate fidelity pair and the
+  /// metrics gain max_ulp_err / first_divergent_turn columns. Enabling it on
+  /// a sample-accurate scenario is a ConfigError — the oracle's fidelities
+  /// are all turn-granular.
+  oracle::OracleSpec oracle;
 };
 
 struct ScenarioResult {

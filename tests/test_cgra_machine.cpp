@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "cgra/batch.hpp"
 #include "cgra/kernels.hpp"
 #include "cgra/machine.hpp"
 #include "cgra/schedule.hpp"
@@ -91,6 +92,49 @@ TEST(Machine, StateOverride) {
   m.run_iteration();
   EXPECT_DOUBLE_EQ(m.state("x"), 101.0);
   EXPECT_THROW(m.set_state("nope", 0.0), ConfigError);
+}
+
+TEST(Machine, StringAndHandleApisReportIdenticalErrors) {
+  // The deprecated string-keyed wrappers resolve through param_handle /
+  // state_handle, so an unknown key must produce byte-identical ConfigError
+  // text on both paths — tooling greps these messages.
+  const CompiledKernel k = compile_kernel(
+      "param float gain = 2.0;\n"
+      "state float y = 1.0;\n"
+      "y = y * gain;\n",
+      grid_3x3());
+  NullSensorBus bus;
+  CgraMachine m(k, bus);
+  const auto message_of = [](const auto& fn) -> std::string {
+    try {
+      fn();
+    } catch (const ConfigError& e) {
+      return e.what();
+    }
+    return "<no ConfigError>";
+  };
+  const std::string via_string =
+      message_of([&] { m.set_param("nope", 0.0); });
+  const std::string via_handle =
+      message_of([&] { (void)param_handle(k, "nope"); });
+  EXPECT_EQ(via_string, via_handle);
+  EXPECT_NE(via_string, "<no ConfigError>");
+  EXPECT_EQ(message_of([&] { (void)m.state("missing"); }),
+            message_of([&] { (void)state_handle(k, "missing"); }));
+
+  // Stale-handle and lane errors must also match between the single-lane
+  // machine and the batched machine (modulo the lane count it reports).
+  PerLaneBusAdapter lane_bus({&bus});
+  BatchedCgraMachine batch(k, 1, lane_bus);
+  const ParamHandle stale{99};
+  EXPECT_EQ(message_of([&] { m.set_param(stale, 1.0, 0); }),
+            message_of([&] { batch.set_param(stale, 1.0, 0); }));
+  const StateHandle stale_state{99};
+  EXPECT_EQ(message_of([&] { (void)m.state(stale_state, 0); }),
+            message_of([&] { (void)batch.state(stale_state, 0); }));
+  const ParamHandle good = param_handle(k, "gain");
+  EXPECT_EQ(message_of([&] { (void)m.param(good, 1); }),
+            message_of([&] { (void)batch.param(good, 1); }));
 }
 
 TEST(Machine, ArithmeticOperators) {

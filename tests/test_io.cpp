@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <vector>
 
 #include "core/error.hpp"
@@ -34,6 +35,65 @@ TEST(Csv, FullPrecisionRoundTrip) {
   double parsed = 0.0;
   sscanf(s.c_str(), "x\n%lf", &parsed);
   EXPECT_DOUBLE_EQ(parsed, v);
+}
+
+TEST(Csv, NonFiniteValuesGetCanonicalSpellings) {
+  // Stream insertion of non-finite doubles is platform text ("-nan(ind)",
+  // "1.#INF", ...); the writer must emit the canonical spellings so sweep
+  // reports with legitimately non-finite metric cells stay parseable.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::string s =
+      io::csv_to_string({{"x", {nan, inf, -inf, 1.5}, {}}});
+  EXPECT_EQ(s, "x\nnan\ninf\n-inf\n1.5\n");
+}
+
+TEST(Csv, NonFiniteRoundTripThroughParse) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::string s =
+      io::csv_to_string({{"x", {nan, inf, -inf, -0.0, 2.25}, {}}});
+  const auto rows = io::parse_csv(s);
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_TRUE(std::isnan(io::csv_parse_number(rows[1][0])));
+  EXPECT_EQ(io::csv_parse_number(rows[2][0]), inf);
+  EXPECT_EQ(io::csv_parse_number(rows[3][0]), -inf);
+  EXPECT_EQ(io::csv_parse_number(rows[4][0]), 0.0);
+  EXPECT_DOUBLE_EQ(io::csv_parse_number(rows[5][0]), 2.25);
+}
+
+TEST(Csv, FormatNumberRoundTripsExactly) {
+  // csv_format_number / csv_parse_number is the repro-artifact contract:
+  // bit-exact for finite doubles, canonical for non-finite.
+  const double cases[] = {1.2345678901234567e-7, -0.1, 1e308, 5e-324, 0.0};
+  for (const double v : cases) {
+    EXPECT_EQ(io::csv_parse_number(io::csv_format_number(v)), v);
+  }
+  EXPECT_EQ(io::csv_format_number(std::numeric_limits<double>::infinity()),
+            "inf");
+  EXPECT_EQ(io::csv_format_number(-std::numeric_limits<double>::infinity()),
+            "-inf");
+  EXPECT_EQ(io::csv_format_number(std::numeric_limits<double>::quiet_NaN()),
+            "nan");
+}
+
+TEST(Csv, ParseNumberAcceptsCaseAndSignVariants) {
+  EXPECT_TRUE(std::isnan(io::csv_parse_number("NaN")));
+  EXPECT_TRUE(std::isnan(io::csv_parse_number("-nan")));
+  EXPECT_EQ(io::csv_parse_number("INF"),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(io::csv_parse_number("+Infinity"),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(io::csv_parse_number("-Inf"),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Csv, ParseNumberRejectsGarbage) {
+  EXPECT_THROW(io::csv_parse_number(""), ConfigError);
+  EXPECT_THROW(io::csv_parse_number("-"), ConfigError);
+  EXPECT_THROW(io::csv_parse_number("1.5x"), ConfigError);
+  EXPECT_THROW(io::csv_parse_number("nanx"), ConfigError);
+  EXPECT_THROW(io::csv_parse_number("not-a-number"), ConfigError);
 }
 
 TEST(Csv, WritesFile) {

@@ -84,6 +84,46 @@ TEST(CaptureBuffer, IntegerTickInterpolatedNeedsNoNeighbour) {
   EXPECT_DOUBLE_EQ(buf.read_interpolated(0.0), 5.0);
 }
 
+TEST(CaptureBuffer, FillCountSaturatesAtFullCapacity) {
+  // Audit of the `count_ <= mask_` saturation in write(): the guard admits
+  // increments up to count_ == mask_ + 1 == capacity(), so a full buffer
+  // really does report size() == capacity() (no off-by-one that would
+  // understate the retained window by a sample).
+  CaptureBuffer buf(2);  // 4 deep
+  EXPECT_EQ(buf.capacity(), 4u);
+  for (Tick t = 0; t < 3; ++t) buf.write(t, static_cast<double>(t));
+  EXPECT_EQ(buf.size(), 3u);  // partially filled: count tracks writes
+  buf.write(3, 3.0);
+  EXPECT_EQ(buf.size(), buf.capacity());  // exactly full on the 4th write
+  EXPECT_EQ(buf.oldest(), 0);
+  EXPECT_TRUE(buf.retained(0));  // the whole depth is still readable
+  EXPECT_TRUE(buf.retained(3));
+  buf.write(4, 4.0);  // first overwrite: count saturates, window slides
+  EXPECT_EQ(buf.size(), buf.capacity());
+  EXPECT_EQ(buf.oldest(), 1);
+  EXPECT_FALSE(buf.retained(0));
+  EXPECT_TRUE(buf.retained(4));
+}
+
+TEST(CaptureBuffer, RetainedWindowSpansCapacityAcrossWrap) {
+  // Wraparound regression for the §III-B sizing guarantee: once the buffer
+  // has wrapped (many times over), the retained window must still span the
+  // full capacity — at depth 13 that is ≥ 2 reference periods down to
+  // 61 kHz, which the period detector and the CGRA's interpolated reads
+  // rely on.
+  CaptureBuffer buf(4);  // 16 deep
+  for (Tick t = 0; t < 100; ++t) buf.write(t, static_cast<double>(t) * 0.5);
+  EXPECT_EQ(buf.size(), buf.capacity());
+  EXPECT_EQ(buf.newest() - buf.oldest() + 1,
+            static_cast<Tick>(buf.capacity()));
+  // Every retained tick reads back the value written for that tick.
+  for (Tick t = buf.oldest(); t <= buf.newest(); ++t) {
+    EXPECT_DOUBLE_EQ(buf.read(t), static_cast<double>(t) * 0.5);
+  }
+  EXPECT_FALSE(buf.retained(buf.oldest() - 1));
+  EXPECT_FALSE(buf.retained(buf.newest() + 1));
+}
+
 TEST(CaptureBuffer, RejectsSillyDepths) {
   EXPECT_THROW(CaptureBuffer(1), std::logic_error);
   EXPECT_THROW(CaptureBuffer(30), std::logic_error);

@@ -13,10 +13,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/units.hpp"
 #include "hil/framework.hpp"
 #include "phys/relativity.hpp"
 #include "phys/synchrotron.hpp"
+#include "sweep/grid.hpp"
 #include "sweep/kernel_cache.hpp"
 #include "sweep/metrics.hpp"
 #include "sweep/report.hpp"
@@ -251,7 +253,8 @@ TEST(SweepReport, CsvAndJsonStructure) {
             "deadline_headroom_min,deadline_headroom_p50,"
             "deadline_headroom_p99,worst_overrun_cycles,f_sync_reference_hz,"
             "faults_injected,faults_detected,faults_recovered,"
-            "time_to_recovery_turns,finite_output_ratio");
+            "time_to_recovery_turns,finite_output_ratio,max_ulp_err,"
+            "first_divergent_turn");
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
 
   // Timing columns stay out of the deterministic report but exist on demand.
@@ -311,6 +314,69 @@ TEST(SweepMetrics, UndampedOscillationReportsInfiniteTau) {
   // jitter lands positive, or a tau vastly beyond the 10 ms window when it
   // lands negative. Either way: "not damped on this record".
   EXPECT_TRUE(std::isinf(tau) || tau > 0.5) << "tau = " << tau;
+}
+
+// Suite name starts with "Oracle" so CI's --gtest_filter='Oracle*' runs the
+// sweep integration together with the subsystem tests in test_oracle.cpp.
+TEST(OracleSweep, AgreementFillsCleanColumnsAtAnyChunking) {
+  hil::TurnLoopConfig tl;
+  tl.kernel.pipelined = true;
+  tl.f_ref_hz = 800.0e3;
+  const phys::Ring ring = phys::sis18(4);
+  const double gamma =
+      phys::gamma_from_revolution_frequency(800.0e3, ring.circumference_m);
+  tl.gap_voltage_v = phys::amplitude_for_synchrotron_frequency(
+      phys::ion_n14_7plus(), ring, gamma, 1280.0);
+
+  oracle::OracleSpec spec;
+  spec.enabled = true;
+  spec.reference = oracle::Fidelity::kSerialF32;
+  spec.candidate = oracle::Fidelity::kBatchedF32;
+  spec.checkpoint_stride = 32;
+
+  SweepConfig config;
+  config.threads = 2;
+  config.scenarios = ScenarioGridBuilder::turn_level(tl)
+                         .jump_amplitudes_deg({4, 8})
+                         .gains({-3, -5})
+                         .jump_timing(1.0, 0.2e-3)
+                         .duration_s(2.0e-3)
+                         .oracle(spec)
+                         .build();
+  ASSERT_EQ(config.scenarios.size(), 4u);
+
+  const SweepResult serial = run_sweep(config);
+  ASSERT_EQ(serial.scenarios.size(), 4u);
+  for (const auto& s : serial.scenarios) {
+    // Serial and batched lanes at one precision are bit-identical, so the
+    // oracle columns report perfect agreement.
+    EXPECT_EQ(s.metrics.max_ulp_err, 0.0) << s.name;
+    EXPECT_EQ(s.metrics.first_divergent_turn, -1) << s.name;
+  }
+  const std::string csv = metrics_csv(serial);
+  EXPECT_NE(csv.find("max_ulp_err"), std::string::npos);
+  EXPECT_NE(csv.find("first_divergent_turn"), std::string::npos);
+
+  // Oracle metrics are part of the deterministic report: chunked execution
+  // must reproduce them byte-for-byte.
+  config.batch_lanes = 3;
+  const SweepResult batched = run_sweep(config);
+  EXPECT_GT(batched.batch_chunks, 0u);
+  EXPECT_EQ(metrics_csv(serial), metrics_csv(batched));
+  EXPECT_EQ(metrics_json(serial), metrics_json(batched));
+}
+
+TEST(OracleSweep, RejectsSampleAccurateEngine) {
+  // All oracle fidelities are turn-granular; pairing one with the
+  // sample-accurate engine is a configuration error, caught before any
+  // scenario runs.
+  Scenario s = jump_scenario(8.0, -5.0, 0.0, 1.0e-3);
+  s.oracle.enabled = true;
+
+  SweepConfig config;
+  config.scenarios.push_back(s);
+  config.threads = 1;
+  EXPECT_THROW(run_sweep(config), ConfigError);
 }
 
 TEST(Sweep, EnsembleReferenceProducesGroundTruthMetrics) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/units.hpp"
 #include "hil/experiment.hpp"
@@ -175,6 +176,44 @@ TEST(TurnLoop, DisplacementOscillatesWithoutStimulus) {
            });
   EXPECT_NEAR(max_dt, 5.0e-9, 1.0e-9);
   EXPECT_NEAR(min_dt, -5.0e-9, 1.0e-9);
+}
+
+TEST(TurnLoop, CheckpointRestoreReplaysBitExactly) {
+  // The oracle's bisection rolls a loop back mid-run and replays; the
+  // replayed records must be bit-identical to the originals (pipelined
+  // kernel: the checkpoint must carry the pipeline registers too, not just
+  // the loop-carried states).
+  TurnLoopConfig tl = paper_loop();
+  tl.jumps = ctrl::PhaseJumpProgramme(deg_to_rad(8.0), 1.0, 0.5e-3);
+  tl.phase_noise_rad = 1.0e-4;  // exercises the Rng image as well
+  TurnLoop loop(tl);
+  loop.run(1500);
+  const TurnLoop::Checkpoint cp = loop.checkpoint();
+  std::vector<TurnRecord> first;
+  for (int i = 0; i < 500; ++i) first.push_back(loop.step());
+  loop.restore(cp);
+  for (int i = 0; i < 500; ++i) {
+    const TurnRecord r = loop.step();
+    ASSERT_EQ(r.time_s, first[static_cast<std::size_t>(i)].time_s) << i;
+    ASSERT_EQ(r.phase_rad, first[static_cast<std::size_t>(i)].phase_rad) << i;
+    ASSERT_EQ(r.dt_s, first[static_cast<std::size_t>(i)].dt_s) << i;
+    ASSERT_EQ(r.dgamma, first[static_cast<std::size_t>(i)].dgamma) << i;
+    ASSERT_EQ(r.correction_hz,
+              first[static_cast<std::size_t>(i)].correction_hz) << i;
+  }
+}
+
+TEST(TurnLoop, CheckpointRejectsFaultedAndSupervisedLoops) {
+  TurnLoopConfig tl = paper_loop();
+  tl.faults.entries.push_back(fault::FaultSpec{
+      .kind = fault::FaultKind::kRefDropout, .start_tick = 10, .duration = 5});
+  TurnLoop faulted(tl);
+  EXPECT_THROW((void)faulted.checkpoint(), std::logic_error);
+
+  TurnLoopConfig sup = paper_loop();
+  sup.supervisor.enabled = true;
+  TurnLoop supervised(sup);
+  EXPECT_THROW((void)supervised.checkpoint(), std::logic_error);
 }
 
 TEST(TurnLoop, RealtimeHeadroomAtPaperFrequencies) {

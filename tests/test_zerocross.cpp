@@ -68,6 +68,84 @@ TEST(ZeroCross, HysteresisSuppressesNoiseDoubleTriggers) {
               static_cast<double>(expected), 2.0);
 }
 
+TEST(ZeroCross, ExactSampleBoundaryCrossingFiresOnce) {
+  // A sample landing exactly on zero is a crossing (sample >= 0.0) whose
+  // interpolated fraction is 1.0 — the crossing tick is exactly `now`. The
+  // next (positive) sample must not re-fire: prev is 0.0, no longer < 0.
+  ZeroCrossingDetector det;
+  EXPECT_FALSE(det.feed(5, -1.0));
+  EXPECT_TRUE(det.feed(6, 0.0));
+  EXPECT_DOUBLE_EQ(det.last_crossing_tick(), 6.0);
+  EXPECT_FALSE(det.feed(7, 1.0));  // no double trigger off the exact zero
+  EXPECT_EQ(det.crossings(), 1u);
+}
+
+TEST(ZeroCross, SignalRisingFromExactZeroDoesNotFire) {
+  // Starting at exactly 0.0 and rising is not a positive-going crossing:
+  // the signal was never below zero.
+  ZeroCrossingDetector det;
+  EXPECT_FALSE(det.feed(0, 0.0));
+  EXPECT_FALSE(det.feed(1, 0.5));
+  EXPECT_FALSE(det.feed(2, 1.0));
+  EXPECT_EQ(det.crossings(), 0u);
+}
+
+TEST(ZeroCross, NegativeZeroPreviousSampleDoesNotFire) {
+  // IEEE -0.0 compares equal to 0.0, so a -0.0 sample counts as "at or
+  // above zero" — it is itself the crossing, and the following positive
+  // sample must not fire again.
+  ZeroCrossingDetector det;
+  det.feed(0, -1.0);
+  EXPECT_TRUE(det.feed(1, -0.0));
+  EXPECT_FALSE(det.feed(2, 1.0));
+  EXPECT_EQ(det.crossings(), 1u);
+}
+
+TEST(ZeroCross, DcOffsetStepCrossingInterpolatesByLevels) {
+  // A DC step that flips sign mid-sample: -3 V -> +1 V crosses zero 3/4 of
+  // the way through the interval, regardless of any common-mode offset
+  // history before it.
+  ZeroCrossingDetector det;
+  for (Tick t = 0; t < 4; ++t) det.feed(t, -3.0);  // long negative DC hold
+  EXPECT_TRUE(det.feed(4, 1.0));
+  EXPECT_DOUBLE_EQ(det.last_crossing_tick(), 3.75);
+  EXPECT_EQ(det.crossings(), 1u);
+}
+
+TEST(ZeroCross, PositiveDcSignalNeverFires) {
+  ZeroCrossingDetector det;
+  for (Tick t = 0; t < 100; ++t) det.feed(t, 0.25);
+  EXPECT_EQ(det.crossings(), 0u);
+}
+
+TEST(ZeroCross, HysteresisRequiresDipBelowThresholdToRearm) {
+  ZeroCrossingDetector det(0.5);
+  det.feed(0, -1.0);
+  EXPECT_TRUE(det.feed(1, 1.0));  // first crossing, detector disarms
+  // Dips to -0.4: inside the hysteresis band, must NOT re-arm.
+  det.feed(2, -0.4);
+  EXPECT_FALSE(det.feed(3, 1.0));
+  // Dips below -0.5: re-arms, the next crossing fires.
+  det.feed(4, -0.6);
+  EXPECT_TRUE(det.feed(5, 1.0));
+  EXPECT_EQ(det.crossings(), 2u);
+}
+
+TEST(PeriodDetector, ExactAtIntegerTickCrossings) {
+  // Crossings at exact sample boundaries (frac == 1.0 case above) produce
+  // integer crossing ticks; the averaged period must be exact in double,
+  // not merely close — these differences are representable.
+  ZeroCrossingDetector zc;
+  PeriodLengthDetector pd(4);
+  // Period of exactly 8 ticks: -1 at t, 0 at t+4 (fires, tick == t+4).
+  for (Tick t = 0; t < 80; ++t) {
+    const double v = (t % 8 < 4) ? -1.0 : ((t % 8 == 4) ? 0.0 : 1.0);
+    if (zc.feed(t, v)) pd.on_crossing(zc.last_crossing_tick());
+  }
+  ASSERT_TRUE(pd.valid());
+  EXPECT_EQ(pd.period_ticks(), 8.0);  // bit-exact, not EXPECT_NEAR
+}
+
 TEST(PeriodDetector, AveragesFourPeriods) {
   PeriodLengthDetector det(4);
   EXPECT_FALSE(det.valid());
