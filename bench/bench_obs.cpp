@@ -1,0 +1,189 @@
+// Observability overhead: what the second-generation obs layer costs when
+// it is off (the common case inside sweeps) and when it is on.
+//
+// The layer's contract is the same as the fault subsystem's "free when
+// idle": a disabled FlightRecorder::record() is one relaxed atomic load plus
+// a branch, disabled registry counters are relaxed no-ops, and none of it
+// ever changes a simulated byte (the ObsSweep byte-identity tests pin the
+// latter; this bench pins the price). The enabled paths are measured too —
+// record into the per-thread ring, a full turn-level loop with recorder +
+// registry live, one Prometheus exposition render, and the static per-op
+// cycle attribution of a compiled kernel.
+//
+// The summary is written to `BENCH_obs.json` (override with `--out <path>`;
+// `--out -` disables the file).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cgra/attribution.hpp"
+#include "cgra/kernels.hpp"
+#include "core/units.hpp"
+#include "ctrl/jump.hpp"
+#include "hil/turnloop.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+using namespace citl;
+
+namespace {
+
+constexpr std::int64_t kTurns = 4000;  // 5 ms at 800 kHz
+
+hil::TurnLoopConfig loop_config() {
+  hil::TurnLoopConfig config;
+  config.kernel.pipelined = true;
+  config.f_ref_hz = 800.0e3;
+  config.gap_voltage_v = 4860.0;
+  config.jumps = ctrl::PhaseJumpProgramme(deg_to_rad(8.0), 1.0, 0.8e-3);
+  return config;
+}
+
+double seconds_per_run(const hil::TurnLoopConfig& config) {
+  // One timed run outside the google-benchmark loop, for the summary table.
+  hil::TurnLoop loop(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.run(kTurns);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void print_report(const std::string& json_path) {
+  std::printf("observability overhead, %lld turn-level revolutions each\n\n",
+              static_cast<long long>(kTurns));
+  obs::Registry::global().set_enabled(false);
+  obs::FlightRecorder::global().set_enabled(false);
+  const double off_s = seconds_per_run(loop_config());
+  obs::Registry::global().set_enabled(true);
+  obs::FlightRecorder::global().set_enabled(true);
+  const double on_s = seconds_per_run(loop_config());
+  obs::Registry::global().set_enabled(false);
+  obs::FlightRecorder::global().set_enabled(false);
+  const double on_pct = off_s > 0.0 ? (on_s / off_s - 1.0) * 100.0 : 0.0;
+
+  io::Table t({"configuration", "wall [ms]", "vs obs off"});
+  t.add_row({"recorder + registry off", io::Table::num(off_s * 1e3, 4), "-"});
+  t.add_row({"recorder + registry on", io::Table::num(on_s * 1e3, 4),
+             io::Table::num(on_pct, 3) + "%"});
+  std::printf("%s\n", t.render().c_str());
+
+  if (!json_path.empty()) {
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("benchmark").value(std::string_view("bench_obs"));
+    w.key("turns").value(static_cast<std::uint64_t>(kTurns));
+    w.key("obs_off_s").value(off_s);
+    w.key("obs_on_s").value(on_s);
+    w.key("obs_overhead_pct").value(on_pct);
+    w.end_object();
+    io::write_text_file(json_path, w.str() + "\n");
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+}
+
+void BM_RecorderRecordDisabled(benchmark::State& state) {
+  // The price every turn pays while the recorder is off: one relaxed load
+  // plus a branch.
+  obs::FlightRecorder recorder;
+  std::int64_t turn = 0;
+  for (auto _ : state) {
+    recorder.record(obs::EventKind::kTurnSummary, turn++, 0.0, 1.0, 2.0);
+  }
+  benchmark::DoNotOptimize(recorder.event_count());
+}
+BENCHMARK(BM_RecorderRecordDisabled);
+
+void BM_RecorderRecordEnabled(benchmark::State& state) {
+  // Enabled path: uncontended per-thread mutex + fixed-size slot store.
+  obs::FlightRecorder recorder;
+  recorder.set_enabled(true);
+  std::int64_t turn = 0;
+  for (auto _ : state) {
+    recorder.record(obs::EventKind::kTurnSummary, turn++, 0.0, 1.0, 2.0,
+                    "heartbeat");
+  }
+  benchmark::DoNotOptimize(recorder.event_count());
+}
+BENCHMARK(BM_RecorderRecordEnabled);
+
+void BM_TurnLoopObsOff(benchmark::State& state) {
+  const hil::TurnLoopConfig config = loop_config();
+  for (auto _ : state) {
+    hil::TurnLoop loop(config);
+    loop.run(kTurns);
+    benchmark::DoNotOptimize(loop.time_s());
+  }
+  state.SetItemsProcessed(state.iterations() * kTurns);
+}
+BENCHMARK(BM_TurnLoopObsOff)->Unit(benchmark::kMillisecond);
+
+void BM_TurnLoopObsOn(benchmark::State& state) {
+  // Recorder + registry live: heartbeat events, deadline bookkeeping and
+  // the per-op attribution counters all take their enabled paths.
+  const hil::TurnLoopConfig config = loop_config();
+  obs::Registry::global().set_enabled(true);
+  obs::FlightRecorder::global().set_enabled(true);
+  for (auto _ : state) {
+    hil::TurnLoop loop(config);
+    loop.run(kTurns);
+    benchmark::DoNotOptimize(loop.time_s());
+  }
+  obs::Registry::global().set_enabled(false);
+  obs::FlightRecorder::global().set_enabled(false);
+  obs::FlightRecorder::global().clear();
+  state.SetItemsProcessed(state.iterations() * kTurns);
+}
+BENCHMARK(BM_TurnLoopObsOn)->Unit(benchmark::kMillisecond);
+
+void BM_PrometheusRender(benchmark::State& state) {
+  // One scrape body off a registry populated the way a real run leaves it.
+  obs::Registry registry;
+  registry.set_enabled(true);
+  for (int i = 0; i < 64; ++i) {
+    registry.counter("bench.counter_" + std::to_string(i)).add(i);
+  }
+  obs::Histogram& h = registry.histogram(
+      "bench.occupancy", {0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0});
+  for (int i = 0; i < 1000; ++i) h.observe(0.001 * i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::prometheus_text(registry));
+  }
+}
+BENCHMARK(BM_PrometheusRender)->Unit(benchmark::kMicrosecond);
+
+void BM_KernelCycleProfile(benchmark::State& state) {
+  // Static attribution of the paper kernel's schedule — what the console's
+  // `hotspots` command and the sweep report pay per kernel.
+  const cgra::BeamKernelConfig kc;  // defaults: 14N7+, SIS18
+  const cgra::CompiledKernel kernel = cgra::compile_kernel(
+      cgra::beam_kernel_source(kc), cgra::grid_5x5(), "beam_bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cgra::kernel_cycle_profile(kernel));
+  }
+}
+BENCHMARK(BM_KernelCycleProfile)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_obs.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      json_path = argv[i + 1];
+      if (json_path == "-") json_path.clear();
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  print_report(json_path);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

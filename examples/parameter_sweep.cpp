@@ -8,6 +8,8 @@
 //                        [--csv out.csv] [--json out.json] [--reference]
 //                        [--quick] [--batch N]
 //                        [--trace out.json] [--metrics out.json]
+//                        [--prom out.prom] [--serve PORT] [--linger SEC]
+//                        [--blackbox out.json]
 //
 // `--quick` shrinks the grid to 2x2 (4 scenarios) for CI smoke runs.
 // `--batch N` executes the sweep through the lane-parallel batched engine
@@ -15,20 +17,33 @@
 // path (pinned by the BatchSweep tests).
 // `--trace` enables the event tracer and writes a Chrome trace-event file
 // (open in Perfetto or chrome://tracing). `--metrics` enables the metrics
-// registry and writes its JSON snapshot after the sweep. Neither flag
-// changes the sweep results: the CSV/JSON metric reports stay byte-identical
-// with observability on or off (pinned by ObsSweep tests).
+// registry and writes its JSON snapshot after the sweep.
+// `--prom` enables the registry and writes the Prometheus text exposition
+// to a file after the sweep. `--serve PORT` additionally serves it live on
+// http://127.0.0.1:PORT/metrics for the duration of the run (PORT 0 picks
+// an ephemeral port, printed on stdout); `--linger SEC` keeps the process
+// (and the endpoint) alive that many seconds after the sweep finishes so an
+// external scraper can collect the final state — the CI smoke job curls the
+// endpoint inside that window. `--blackbox` enables the flight recorder and
+// dumps its citl-blackbox-v1 ring to the given path after the sweep.
+// None of these flags change the sweep results: the CSV/JSON metric reports
+// stay byte-identical with observability on or off (pinned by ObsSweep
+// tests).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/units.hpp"
 #include "hil/framework.hpp"
 #include "io/json.hpp"
 #include "io/table.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "phys/relativity.hpp"
 #include "phys/synchrotron.hpp"
@@ -43,6 +58,10 @@ int main(int argc, char** argv) {
   unsigned threads = 0;  // hardware_concurrency
   std::size_t batch_lanes = 0;
   std::string csv_path, json_path, trace_path, metrics_path;
+  std::string prom_path, blackbox_path;
+  bool serve = false;
+  int serve_port = 0;
+  double linger_s = 0.0;
   bool with_reference = false;
   bool quick = false;
   int positional = 0;
@@ -57,6 +76,15 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve = true;
+      serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      linger_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--blackbox") == 0 && i + 1 < argc) {
+      blackbox_path = argv[++i];
     } else if (std::strcmp(argv[i], "--reference") == 0) {
       with_reference = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
@@ -79,7 +107,23 @@ int main(int argc, char** argv) {
       phys::ion_n14_7plus(), ring, gamma, 1280.0);
 
   if (!trace_path.empty()) obs::Tracer::global().set_enabled(true);
-  if (!metrics_path.empty()) obs::Registry::global().set_enabled(true);
+  if (!metrics_path.empty() || !prom_path.empty() || serve) {
+    obs::Registry::global().set_enabled(true);
+  }
+  if (!blackbox_path.empty()) {
+    obs::FlightRecorder::global().set_enabled(true);
+    obs::FlightRecorder::global().set_dump_path(blackbox_path);
+  }
+
+  // The scrape endpoint comes up before the sweep so a Prometheus server
+  // (or the CI smoke job's curl loop) can watch the counters move live.
+  obs::ScrapeServer scrape_server;
+  if (serve) {
+    scrape_server.start(static_cast<std::uint16_t>(serve_port));
+    std::printf("serving /metrics on http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(scrape_server.port()));
+    std::fflush(stdout);
+  }
 
   // The grid: the paper's point (8 deg, -5) sits at the centre. `--quick`
   // keeps a 2x2 corner of it — enough to exercise the sweep engine, the
@@ -148,5 +192,25 @@ int main(int argc, char** argv) {
     io::write_text_file(metrics_path, obs::Registry::global().json() + "\n");
     std::printf("wrote %s\n", metrics_path.c_str());
   }
+  if (!prom_path.empty()) {
+    io::write_text_file(prom_path,
+                        obs::prometheus_text(obs::Registry::global()));
+    std::printf("wrote %s\n", prom_path.c_str());
+  }
+  if (!blackbox_path.empty()) {
+    obs::FlightRecorder::global().dump_to_file("requested");
+    std::printf("wrote %s (%zu flight-recorder events, %llu dropped)\n",
+                blackbox_path.c_str(),
+                obs::FlightRecorder::global().event_count(),
+                static_cast<unsigned long long>(
+                    obs::FlightRecorder::global().dropped()));
+  }
+  if (serve && linger_s > 0.0) {
+    std::printf("lingering %.1f s for external scrapers...\n", linger_s);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(linger_s * 1e3)));
+  }
+  if (serve) scrape_server.stop();
   return 0;
 }

@@ -1,0 +1,137 @@
+#include "cgra/attribution.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "io/json.hpp"
+#include "io/table.hpp"
+
+namespace citl::cgra {
+
+KernelCycleProfile kernel_cycle_profile(const CompiledKernel& kernel) {
+  KernelCycleProfile profile;
+  profile.kernel_name = kernel.name;
+  profile.schedule_length = kernel.schedule.length;
+  profile.pe_count = kernel.arch.pe_count();
+
+  // Accumulate per-kind ops and busy cycles. OpKind is a dense uint8 enum;
+  // kMove is last.
+  constexpr std::size_t kKinds = static_cast<std::size_t>(OpKind::kMove) + 1;
+  std::array<std::uint64_t, kKinds> ops{};
+  std::array<std::uint64_t, kKinds> cycles{};
+  const Dfg& g = kernel.dfg;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const auto k = static_cast<std::size_t>(g.node(id).kind);
+    const Placement& p = kernel.schedule.placement[i];
+    ops[k] += 1;
+    cycles[k] += p.finish - p.start;
+  }
+  // Scheduler-inserted route hops: one route-port cycle each.
+  const auto move = static_cast<std::size_t>(OpKind::kMove);
+  ops[move] += kernel.schedule.hops.size();
+  cycles[move] += kernel.schedule.hops.size();
+
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (ops[k] == 0) continue;
+    AttributionRow row;
+    row.kind = static_cast<OpKind>(k);
+    row.unit = op_class(row.kind);
+    row.ops = ops[k];
+    row.cycles_per_iteration = cycles[k];
+    profile.busy_cycles += cycles[k];
+    profile.rows.push_back(row);
+  }
+  std::sort(profile.rows.begin(), profile.rows.end(),
+            [](const AttributionRow& x, const AttributionRow& y) {
+              if (x.cycles_per_iteration != y.cycles_per_iteration) {
+                return x.cycles_per_iteration > y.cycles_per_iteration;
+              }
+              return op_name(x.kind) < op_name(y.kind);
+            });
+  const double slots = static_cast<double>(profile.pe_count) *
+                       static_cast<double>(profile.schedule_length);
+  profile.pe_utilisation =
+      slots > 0.0 ? static_cast<double>(profile.busy_cycles) / slots : 0.0;
+  return profile;
+}
+
+std::string attribution_metric_name(const AttributionRow& row) {
+  std::string name = "cgra.op_cycles[op=";
+  name += op_name(row.kind);
+  name += ",fu=";
+  name += op_class_name(row.unit);
+  name += ']';
+  return name;
+}
+
+AttributionCounters::AttributionCounters(const CompiledKernel& kernel) {
+  const KernelCycleProfile profile = kernel_cycle_profile(kernel);
+  entries_.reserve(profile.rows.size());
+  for (const AttributionRow& row : profile.rows) {
+    if (row.cycles_per_iteration == 0) continue;
+    entries_.push_back(
+        {&obs::Registry::global().counter(attribution_metric_name(row)),
+         row.cycles_per_iteration});
+  }
+}
+
+void AttributionCounters::add_iterations(std::uint64_t n) noexcept {
+  for (const Entry& e : entries_) {
+    e.cycles->add(e.cycles_per_iteration * n);
+  }
+}
+
+std::string hotspot_table(const KernelCycleProfile& profile,
+                          std::uint64_t iterations) {
+  io::Table table({"op", "unit", "ops", "cyc/iter", "share", "total_cycles"});
+  const double busy = profile.busy_cycles > 0
+                          ? static_cast<double>(profile.busy_cycles)
+                          : 1.0;
+  for (const AttributionRow& row : profile.rows) {
+    table.add_row(
+        {std::string(op_name(row.kind)), std::string(op_class_name(row.unit)),
+         std::to_string(row.ops), std::to_string(row.cycles_per_iteration),
+         io::Table::num(100.0 * static_cast<double>(row.cycles_per_iteration) /
+                            busy,
+                        3) +
+             "%",
+         std::to_string(row.cycles_per_iteration * iterations)});
+  }
+  std::string out = "kernel '" + profile.kernel_name +
+                    "': schedule length " +
+                    std::to_string(profile.schedule_length) + " cycles, " +
+                    std::to_string(profile.busy_cycles) +
+                    " busy PE-cycles/iter (utilisation " +
+                    io::Table::num(100.0 * profile.pe_utilisation, 3) +
+                    "%), " + std::to_string(iterations) + " iterations\n";
+  out += table.render();
+  return out;
+}
+
+void append_attribution_json(io::JsonWriter& w,
+                             const KernelCycleProfile& profile,
+                             std::uint64_t iterations) {
+  w.begin_object();
+  w.key("kernel").value(std::string_view(profile.kernel_name));
+  w.key("schedule_length").value(
+      static_cast<std::uint64_t>(profile.schedule_length));
+  w.key("pe_count").value(static_cast<std::int64_t>(profile.pe_count));
+  w.key("busy_cycles_per_iteration").value(profile.busy_cycles);
+  w.key("pe_utilisation").value(profile.pe_utilisation);
+  w.key("iterations").value(iterations);
+  w.key("ops").begin_array();
+  for (const AttributionRow& row : profile.rows) {
+    w.begin_object();
+    w.key("op").value(op_name(row.kind));
+    w.key("unit").value(op_class_name(row.unit));
+    w.key("count").value(row.ops);
+    w.key("cycles_per_iteration").value(row.cycles_per_iteration);
+    w.key("total_cycles").value(row.cycles_per_iteration * iterations);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace citl::cgra

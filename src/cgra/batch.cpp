@@ -27,7 +27,11 @@ struct IndexMap {
 BatchedCgraMachine::BatchedCgraMachine(const CompiledKernel& kernel,
                                        std::size_t lanes, LaneSensorBus& bus,
                                        Precision precision)
-    : kernel_(&kernel), bus_(&bus), precision_(precision), lanes_(lanes) {
+    : kernel_(&kernel),
+      bus_(&bus),
+      precision_(precision),
+      lanes_(lanes),
+      attribution_counters_(kernel) {
   if (lanes == 0) {
     throw ConfigError("BatchedCgraMachine for kernel '" + kernel.name +
                       "' needs at least one lane");
@@ -413,6 +417,7 @@ void BatchedCgraMachine::commit(const LaneMap& lm, std::size_t n_active) {
   lanes_active.set(static_cast<double>(n_active));
   iterations.add(n_active);
   cycles.add(n_active * kernel_->schedule.length);
+  attribution_counters_.add_iterations(n_active);
 }
 
 unsigned BatchedCgraMachine::run_iteration_all_lanes() {

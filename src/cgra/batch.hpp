@@ -145,6 +145,7 @@ class BatchedCgraMachine final : public BeamModel {
   std::vector<double> scratch_d_;   ///< 4 * lanes CORDIC scratch (binary64)
   std::uint64_t iterations_ = 0;
   std::vector<std::uint64_t> lane_iterations_;
+  AttributionCounters attribution_counters_;  ///< per-op cycle metrics
 };
 
 }  // namespace citl::cgra

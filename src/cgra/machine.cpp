@@ -79,7 +79,10 @@ StateHandle find_state(const CompiledKernel& kernel,
 
 CgraMachine::CgraMachine(const CompiledKernel& kernel, SensorBus& bus,
                          Precision precision)
-    : kernel_(&kernel), bus_(&bus), precision_(precision) {
+    : kernel_(&kernel),
+      bus_(&bus),
+      precision_(precision),
+      attribution_counters_(kernel) {
   values_.assign(kernel.dfg.size(), 0.0);
   pipe_regs_.assign(kernel.dfg.size(), 0.0);
   topo_ = kernel.dfg.topo_order();
@@ -379,6 +382,7 @@ void CgraMachine::commit_iteration() {
       obs::Registry::global().counter("cgra.schedule_cycles");
   iterations.add();
   cycles.add(kernel_->schedule.length);
+  attribution_counters_.add_iterations(1);
 }
 
 }  // namespace citl::cgra

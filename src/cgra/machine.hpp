@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cgra/attribution.hpp"
 #include "cgra/schedule.hpp"
 #include "cgra/sensor.hpp"
 
@@ -210,6 +211,7 @@ class CgraMachine final : public BeamModel {
   std::vector<int> param_slot_;     ///< node id -> param index (or -1)
   std::vector<int> state_slot_;     ///< node id -> state index (or -1)
   std::uint64_t iterations_ = 0;
+  AttributionCounters attribution_counters_;  ///< per-op cycle metrics
 };
 
 }  // namespace citl::cgra

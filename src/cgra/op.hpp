@@ -47,6 +47,20 @@ enum class OpClass : std::uint8_t {
   kRoute,    // pass-through register (every PE has this)
 };
 
+/// Functional-unit name of a capability class (attribution tables,
+/// exposition labels).
+[[nodiscard]] constexpr std::string_view op_class_name(OpClass c) noexcept {
+  switch (c) {
+    case OpClass::kAlu: return "alu";
+    case OpClass::kMul: return "mul";
+    case OpClass::kDivSqrt: return "divsqrt";
+    case OpClass::kCordic: return "cordic";
+    case OpClass::kMem: return "mem";
+    case OpClass::kRoute: return "route";
+  }
+  return "?";
+}
+
 [[nodiscard]] constexpr OpClass op_class(OpKind k) noexcept {
   switch (k) {
     case OpKind::kMul:

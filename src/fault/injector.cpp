@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/error.hpp"
+#include "obs/recorder.hpp"
 
 namespace citl::fault {
 
@@ -80,7 +81,12 @@ void FaultInjector::begin_tick(std::int64_t tick) {
   active_params_.clear();
   for (Entry& e : entries_) {
     const bool active = e.spec.active_at(tick);
-    if (active && !e.active) ++windows_entered_;
+    if (active && !e.active) {
+      ++windows_entered_;
+      obs::FlightRecorder::global().record(
+          obs::EventKind::kFaultWindow, tick, 0.0,
+          static_cast<double>(windows_entered_), 0.0, to_string(e.spec.kind));
+    }
     e.active = active;
     if (!active) continue;
     ++n_active_;

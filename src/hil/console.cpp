@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "cgra/attribution.hpp"
 #include "cgra/schedule.hpp"
 #include "core/units.hpp"
 #include "obs/metrics.hpp"
@@ -27,7 +28,7 @@ bool parse_double(const std::string& s, double* out) {
 
 constexpr const char* kHelp =
     "commands:\n"
-    "  status | schedule | deadline | metrics [on|off] | help\n"
+    "  status | schedule | hotspots | deadline | metrics [on|off] | help\n"
     "  get <register> | set <register> <value>\n"
     "  param <name> [value] | state <name> [value]\n"
     "  monitor phase|beam | record on|off|clear | control on|off\n"
@@ -77,6 +78,15 @@ std::string Console::execute(const std::string& line) {
                 1e6
          << " MHz";
       return ok(os.str());
+    }
+
+    if (cmd == "hotspots") {
+      // Per-op cycle attribution of the running kernel, scaled by the runs
+      // executed so far — §III-B's monitoring registers never told an
+      // operator WHERE the schedule cycles go; this does.
+      const auto profile = cgra::kernel_cycle_profile(fw_.kernel());
+      return ok(cgra::hotspot_table(
+          profile, static_cast<std::uint64_t>(fw_.cgra_runs())));
     }
 
     if (cmd == "deadline") {

@@ -7,6 +7,7 @@
 #include "core/error.hpp"
 #include "core/units.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "phys/relativity.hpp"
 
@@ -210,9 +211,28 @@ void Framework::account_cgra_run(unsigned exec_cycles, double budget_cycles,
   // reference period at the CGRA clock. The boolean violation counter and
   // the profiler share one comparison so they can never disagree.
   deadline_.record(static_cast<double>(exec_cycles), budget_cycles, when_s);
+  // Mirror of TurnLoop::finish_turn: scrape endpoints read the registry, so
+  // the occupancy distribution has to live there as well as in the profiler.
+  static obs::Histogram& obs_occupancy = obs::Registry::global().histogram(
+      "hil.deadline.occupancy",
+      {0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0});
+  if (budget_cycles > 0.0) {
+    obs_occupancy.observe(static_cast<double>(exec_cycles) / budget_cycles);
+  }
   if (static_cast<double>(exec_cycles) > budget_cycles) {
     ++realtime_violations_;
     obs_deadline_misses_->add();
+    obs::FlightRecorder::global().record(
+        obs::EventKind::kDeadlineMiss, cgra_runs_ - 1, when_s,
+        static_cast<double>(exec_cycles), budget_cycles);
+  }
+  // Decimated heartbeat for the flight recorder (same interval as the
+  // turn-level loop; see TurnLoop::finish_turn).
+  constexpr std::int64_t kSummaryInterval = 256;
+  if ((cgra_runs_ - 1) % kSummaryInterval == 0) {
+    obs::FlightRecorder::global().record(
+        obs::EventKind::kTurnSummary, cgra_runs_ - 1, when_s, 0.0,
+        static_cast<double>(exec_cycles));
   }
 }
 

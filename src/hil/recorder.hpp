@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace citl::hil {
 
@@ -21,14 +22,26 @@ class Trace {
         max_samples_(max_samples) {}
 
   void push(double time_s, double value) {
+    // Sample-accounting mirrored into the global registry so exposition
+    // shows capacity truncation across every live trace. Function-local
+    // statics: one name lookup per process, relaxed no-ops while disabled.
+    static obs::Counter& obs_kept =
+        obs::Registry::global().counter("hil.trace.samples_kept");
+    static obs::Counter& obs_dropped =
+        obs::Registry::global().counter("hil.trace.samples_dropped");
+    static obs::Counter& obs_decimated =
+        obs::Registry::global().counter("hil.trace.samples_decimated");
     if (counter_++ % decimation_ != 0) {
       ++decimated_;
+      obs_decimated.add();
       return;
     }
     if (max_samples_ != 0 && times_.size() >= max_samples_) {
       ++dropped_;  // capacity truncation must be visible, not silent
+      obs_dropped.add();
       return;
     }
+    obs_kept.add();
     times_.push_back(time_s);
     values_.push_back(value);
   }

@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace citl::hil {
@@ -54,6 +55,8 @@ void Supervisor::detect() {
     ++stats_.faults_detected;
     obs_detections_->add();
     obs::Tracer::global().instant("supervisor.fault_detected");
+    obs::FlightRecorder::global().record(obs::EventKind::kSupervisorDetect,
+                                         stats_.checked_turns, 0.0);
   }
 }
 
@@ -128,6 +131,13 @@ DeadlinePolicy Supervisor::on_deadline_overrun() {
     case DeadlinePolicy::kAbort:
       detect();
       abort_ = true;
+      // The loop is about to stop: this IS the black-box moment. Record the
+      // abort, then flush the recorder to its dump path (no-op when no path
+      // is configured).
+      obs::FlightRecorder::global().record(obs::EventKind::kSupervisorAbort,
+                                           stats_.checked_turns, 0.0, 0.0,
+                                           0.0, "deadline_policy_abort");
+      obs::FlightRecorder::global().dump_to_file("supervisor_abort");
       break;
   }
   return config_.deadline_policy;
@@ -153,6 +163,8 @@ void Supervisor::end_turn() {
       ++stats_.rollbacks;
       obs_rollbacks_->add();
       obs::Tracer::global().instant("supervisor.rollback");
+      obs::FlightRecorder::global().record(obs::EventKind::kSupervisorRollback,
+                                           stats_.checked_turns, 0.0);
       model_->restore_states(lane_, checkpoint_.data());
     } else {
       ++stats_.finite_turns;
@@ -186,6 +198,9 @@ void Supervisor::end_turn() {
     stats_.recovery_turns_total += stats_.checked_turns - episode_start_turn_;
     obs_recoveries_->add();
     obs::Tracer::global().instant("supervisor.recovered");
+    obs::FlightRecorder::global().record(
+        obs::EventKind::kSupervisorRecover, stats_.checked_turns, 0.0,
+        static_cast<double>(stats_.checked_turns - episode_start_turn_));
   }
   dirty_ = false;
 }

@@ -5,6 +5,8 @@
 
 #include "core/error.hpp"
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "phys/relativity.hpp"
 
 namespace citl::hil {
@@ -279,9 +281,21 @@ TurnRecord TurnLoop::finish_turn(unsigned exec_cycles) {
 
   if (injector_ != nullptr) exec_cycles += injector_->stall_cycles();
   deadline_.record(static_cast<double>(exec_cycles), budget_cycles_, time_s_);
+  // Registry-side occupancy histogram: the DeadlineProfiler keeps the exact
+  // per-loop distribution, but scrape endpoints render the global registry,
+  // so mirror exec/budget there too (no-op while the registry is disabled).
+  static obs::Histogram& obs_occupancy = obs::Registry::global().histogram(
+      "hil.deadline.occupancy",
+      {0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0});
+  if (budget_cycles_ > 0.0) {
+    obs_occupancy.observe(static_cast<double>(exec_cycles) / budget_cycles_);
+  }
   DeadlinePolicy action = DeadlinePolicy::kObserve;
   if (static_cast<double>(exec_cycles) > budget_cycles_) {
     ++realtime_violations_;
+    obs::FlightRecorder::global().record(
+        obs::EventKind::kDeadlineMiss, turn_, time_s_,
+        static_cast<double>(exec_cycles), budget_cycles_);
     if (supervisor_ != nullptr) action = supervisor_->on_deadline_overrun();
   }
 
@@ -332,6 +346,16 @@ TurnRecord TurnLoop::finish_turn(unsigned exec_cycles) {
   if (control_on_) {
     // The gap DDS integrates the frequency correction into phase.
     ctrl_phase_rad_ += kTwoPi * correction_hz_ * t_ref_s_;
+  }
+
+  // Decimated heartbeat: a bounded ring holding every turn of a long run
+  // would retain only the tail, so keep one summary per kSummaryInterval
+  // turns and let the always-recorded misses/faults carry the detail.
+  constexpr std::int64_t kSummaryInterval = 256;
+  if (turn_ % kSummaryInterval == 0) {
+    obs::FlightRecorder::global().record(
+        obs::EventKind::kTurnSummary, turn_, time_s_, phase,
+        static_cast<double>(exec_cycles));
   }
 
   time_s_ += t_ref_s_;

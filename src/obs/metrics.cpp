@@ -67,6 +67,33 @@ void Registry::reset() {
   }
 }
 
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.bounds = h->bounds();
+    row.counts.reserve(row.bounds.size() + 1);
+    for (std::size_t i = 0; i <= row.bounds.size(); ++i) {
+      row.counts.push_back(h->bucket_count(i));
+    }
+    row.count = h->count();
+    row.sum = h->sum();
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
 std::string Registry::json() const {
   std::lock_guard lock(mutex_);
   io::JsonWriter w;
@@ -88,9 +115,9 @@ std::string Registry::json() const {
     for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
       w.begin_object();
       if (i < h->bounds().size()) {
-        w.key("lt").value(h->bounds()[i]);
+        w.key("le").value(h->bounds()[i]);
       } else {
-        w.key("lt").value(std::string_view("inf"));
+        w.key("le").value(std::string_view("inf"));
       }
       w.key("count").value(static_cast<std::uint64_t>(h->bucket_count(i)));
       w.end_object();
@@ -127,8 +154,8 @@ std::string Registry::csv() const {
     for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
       const std::string label =
           i < h->bounds().size()
-              ? name + ".lt_" + io::json_number(h->bounds()[i])
-              : name + ".lt_inf";
+              ? name + ".le_" + io::json_number(h->bounds()[i])
+              : name + ".le_inf";
       row(label, "histogram_bucket", std::to_string(h->bucket_count(i)));
     }
     row(name + ".count", "histogram", std::to_string(h->count()));

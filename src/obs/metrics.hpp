@@ -83,18 +83,21 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Fixed-bucket histogram. Bucket i counts observations v < bounds[i] that
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i] that
 /// were not already counted by a lower bucket, i.e. bucket 0 holds
-/// v < bounds[0], bucket i holds bounds[i-1] <= v < bounds[i], and one
-/// overflow bucket holds v >= bounds.back(). Boundaries are half-open on the
-/// upper side, so a value exactly on a bound lands in the bucket above it
-/// (tested in test_obs.cpp).
+/// v <= bounds[0], bucket i holds bounds[i-1] < v <= bounds[i], and one
+/// overflow bucket holds v > bounds.back(). Bounds are upper-INCLUSIVE —
+/// Prometheus `le` semantics, so the cumulative buckets the text exposition
+/// renders (obs/exposition.hpp) match what bucket_count() reports. (The
+/// original implementation was half-open above, which put a value exactly on
+/// a bound into the bucket above it and made every rendered `le` bucket lie
+/// by the on-boundary count; tested in test_obs.cpp.)
 class Histogram {
  public:
   void observe(double v) noexcept {
     if (!enabled_->load(std::memory_order_relaxed)) return;
     std::size_t i = 0;
-    while (i < bounds_.size() && v >= bounds_[i]) ++i;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
     counts_[i].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     double cur = sum_.load(std::memory_order_relaxed);
@@ -135,6 +138,24 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Point-in-time copy of every registered instrument, name-sorted. This is
+/// the read surface for renderers that live outside the registry (the
+/// Prometheus text exposition in obs/exposition.hpp) — they consume a
+/// snapshot instead of poking at live atomics so one scrape observes one
+/// coherent registration set.
+struct MetricsSnapshot {
+  struct HistogramRow {
+    std::string name;
+    std::vector<double> bounds;           ///< upper-inclusive (`le`) bounds
+    std::vector<std::uint64_t> counts;    ///< bounds.size() + 1 (overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
 /// Thread-safe instrument registry. Lookups by name take a mutex (do them
 /// once, outside the hot loop); the handles they return are lock-free.
 class Registry {
@@ -159,6 +180,9 @@ class Registry {
 
   /// Zeroes every registered instrument (registrations are kept).
   void reset();
+
+  /// Coherent copy of every instrument's current value (names sorted).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Snapshot as JSON: {"counters":{...},"gauges":{...},"histograms":{...}},
   /// names sorted, doubles at round-trip precision.

@@ -1,0 +1,147 @@
+// Flight recorder — a bounded ring of structured run events that survives
+// until something goes wrong, then becomes the post-mortem artifact.
+//
+// The operational LLRF systems this repository models (ESS cavity simulator,
+// J-PARC LLRF; see PAPERS.md) all carry an always-on "black box" channel next
+// to their metrics registers: a cheap circular log of the last N interesting
+// events — deadline misses, protection actions, mode changes — dumped to disk
+// when the loop trips. This is that channel for the simulated stack:
+//
+//   * turn summaries (decimated), deadline misses, fault-injection windows,
+//     Supervisor detect/recover/rollback/abort actions, oracle divergences,
+//   * bounded memory: each thread owns a fixed-capacity ring; old events are
+//     overwritten, with an exact dropped count,
+//   * hot path is one relaxed atomic load + branch when disabled, and an
+//     uncontended per-thread mutex + array store when enabled (same idiom as
+//     obs::Tracer — TSan-clean, no cross-thread contention),
+//   * events carry SIMULATED turn/time coordinates only, so a dump of the
+//     same run is reproducible; the recorder never feeds back into
+//     simulation results (the obs on/off byte-identity tests pin this).
+//
+// Dump triggers (all emit the `citl-blackbox-v1` JSON schema, see
+// docs/OBSERVABILITY.md):
+//   * hil::Supervisor abort (DeadlinePolicy::kAbort or episode abort),
+//   * oracle divergence (oracle::run_oracle),
+//   * fatal signal, when install_signal_handlers() was called (best effort:
+//     the dump path is not async-signal-safe, but a crashing process has
+//     nothing to lose),
+//   * explicit dump_json() / dump_to_file() calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace citl::obs {
+
+/// What happened. Names (event_kind_name) are part of the
+/// citl-blackbox-v1 schema — append new kinds, never renumber.
+enum class EventKind : std::uint8_t {
+  kNote = 0,             ///< free-form marker (label carries the text)
+  kTurnSummary,          ///< decimated turn heartbeat (a=phase_rad, b=exec_cycles)
+  kDeadlineMiss,         ///< a=exec_cycles, b=budget_cycles
+  kFaultWindow,          ///< fault-injection window entered (a=window index)
+  kSupervisorDetect,     ///< a=detector code
+  kSupervisorRecover,    ///< a=episode turns-to-recovery
+  kSupervisorRollback,   ///< checkpoint rollback (a=rollback turn)
+  kSupervisorAbort,      ///< a=policy/abort code
+  kOracleDivergence,     ///< a=first divergent turn, b=max ulp error
+};
+
+/// Stable schema string for `kind` in dumps.
+[[nodiscard]] const char* event_kind_name(EventKind k) noexcept;
+
+/// One recorded event. Fixed-size (no allocation on the record path); the
+/// label is truncated to kLabelSize-1 characters.
+struct FlightEvent {
+  static constexpr std::size_t kLabelSize = 48;
+  std::uint64_t seq = 0;   ///< global record order across threads
+  std::int64_t turn = -1;  ///< simulated turn index, -1 when not applicable
+  double time_s = 0.0;     ///< simulated time, 0 when not applicable
+  double a = 0.0;          ///< kind-specific payload (see EventKind)
+  double b = 0.0;
+  EventKind kind = EventKind::kNote;
+  char label[kLabelSize] = {};
+};
+
+class FlightRecorder {
+ public:
+  /// Events retained per recording thread before the ring wraps.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity_per_thread = kDefaultCapacity);
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one event on the calling thread's ring. No-ops when disabled.
+  void record(EventKind kind, std::int64_t turn, double time_s, double a = 0.0,
+              double b = 0.0, std::string_view label = {});
+
+  /// Events currently retained (across all threads, after wrap).
+  [[nodiscard]] std::size_t event_count() const;
+  /// Events overwritten by ring wrap-around since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity_per_thread() const noexcept {
+    return capacity_;
+  }
+  /// Drops all retained events and the dropped count (ring registrations
+  /// are kept).
+  void clear();
+
+  /// Merged snapshot of all retained events in global record order.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// Renders the citl-blackbox-v1 dump:
+  ///   {"format":"citl-blackbox-v1","reason":...,"event_count":N,
+  ///    "dropped":N,"capacity_per_thread":N,"events":[...]}
+  [[nodiscard]] std::string dump_json(std::string_view reason) const;
+
+  /// Where automatic dumps (abort / divergence / fatal signal) land; empty
+  /// (the default) disables file dumps entirely.
+  void set_dump_path(std::string path);
+  [[nodiscard]] std::string dump_path() const;
+  /// Writes dump_json(reason) to the configured dump path. Quietly does
+  /// nothing when no path is set; swallows IO errors (a dump must never
+  /// turn a diagnosed failure into a crash).
+  void dump_to_file(std::string_view reason) const;
+
+  /// Installs SIGSEGV/SIGABRT/SIGFPE/SIGBUS/SIGILL handlers that dump the
+  /// GLOBAL recorder to its dump path, then re-raise with default
+  /// disposition. Best effort — the dump allocates and does file IO, which
+  /// is not async-signal-safe, acceptable only because the process is
+  /// already dying. Idempotent.
+  static void install_signal_handlers();
+
+  /// Process-wide recorder used by the built-in instrumentation (starts
+  /// disabled, like Registry/Tracer).
+  static FlightRecorder& global();
+
+ private:
+  struct ThreadRing {
+    mutable std::mutex mutex;  ///< writer = owning thread, reader = snapshot
+    std::vector<FlightEvent> slots;  ///< capacity_ entries once first used
+    std::size_t head = 0;            ///< next write position
+    std::uint64_t written = 0;       ///< total records into this ring
+  };
+
+  ThreadRing& local_ring();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  std::uint64_t id_;  ///< distinguishes recorders for the thread-local cache
+  std::size_t capacity_;
+  mutable std::mutex mutex_;  ///< guards rings_ and dump_path_
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::string dump_path_;
+};
+
+}  // namespace citl::obs

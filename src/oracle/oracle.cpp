@@ -14,6 +14,7 @@
 #include "core/units.hpp"
 #include "io/csv.hpp"
 #include "io/json.hpp"
+#include "obs/recorder.hpp"
 #include "oracle/host_model.hpp"
 
 namespace citl::oracle {
@@ -536,6 +537,13 @@ OracleReport run_oracle(const hil::TurnLoopConfig& loop_config,
   report.max_ulp_err = ulp_to_double(report.histogram.max_ulp);
 
   if (report.diverged) {
+    // A divergence is a black-box moment like a Supervisor abort: record it
+    // and flush the flight recorder (no-op when no dump path is set).
+    obs::FlightRecorder::global().record(
+        obs::EventKind::kOracleDivergence, report.first_divergent_turn, 0.0,
+        static_cast<double>(report.first_divergent_turn),
+        report.max_ulp_err);
+    obs::FlightRecorder::global().dump_to_file("oracle_divergence");
     for (std::size_t q = 0; q < kQuantityCount; ++q) {
       if (detect_cmp[q].pass) continue;
       report.divergences.push_back({kQuantityNames[q], detect_cmp[q].expected,

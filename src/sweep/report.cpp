@@ -1,5 +1,6 @@
 #include "sweep/report.hpp"
 
+#include "cgra/attribution.hpp"
 #include "io/json.hpp"
 
 namespace citl::sweep {
@@ -156,6 +157,21 @@ std::string metrics_json(const SweepResult& result, bool include_timing) {
       w.key("first_swing_rad").value(s.reference_first_swing_rad);
       w.end_object();
     }
+    w.end_object();
+  }
+  w.end_array();
+  // Per-distinct-kernel cycle attribution (hotspot data for codegen and
+  // scheduler work). Deterministic: schedules × cgra_runs, no obs state.
+  w.key("attribution").begin_array();
+  for (const auto& ka : result.attribution) {
+    w.begin_object();
+    w.key("scenarios").begin_array();
+    for (const std::size_t idx : ka.scenario_indices) {
+      w.value(static_cast<std::uint64_t>(idx));
+    }
+    w.end_array();
+    w.key("profile");
+    cgra::append_attribution_json(w, ka.profile, ka.iterations);
     w.end_object();
   }
   w.end_array();

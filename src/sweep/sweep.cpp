@@ -571,11 +571,15 @@ SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool) {
   SweepResult result;
   result.scenarios.resize(config.scenarios.size());
 
-  std::set<std::string> distinct;
-  for (const auto& scenario : config.scenarios) {
-    distinct.insert(kernel_cache_key(scenario_kernel_config(scenario),
-                                     scenario_arch(scenario),
-                                     scenario_kernel_kind(scenario)));
+  // Distinct-kernel accounting doubles as the attribution grouping: members
+  // of one cache key share one compiled schedule, so one profile.
+  std::map<std::string, std::vector<std::size_t>> distinct;
+  for (std::size_t i = 0; i < config.scenarios.size(); ++i) {
+    const auto& scenario = config.scenarios[i];
+    distinct[kernel_cache_key(scenario_kernel_config(scenario),
+                              scenario_arch(scenario),
+                              scenario_kernel_kind(scenario))]
+        .push_back(i);
   }
   result.distinct_kernels = distinct.size();
 
@@ -623,6 +627,26 @@ SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool) {
                        cache, config.collect_traces);
       account_done(1);
     });
+  }
+
+  // Per-kernel cycle attribution: static schedule profile × the summed
+  // cgra_runs of the member scenarios. Ordered by cache key (the std::map),
+  // so the report section is deterministic at any thread/lane count.
+  for (const auto& [key, members] : distinct) {
+    KernelAttribution ka;
+    // peek(): the scenarios already resolved every key, and the attribution
+    // pass must not inflate the cache's lookup/hit statistics.
+    auto kernel = cache.peek(key);
+    if (kernel == nullptr) {
+      kernel = scenario_kernel(cache, config.scenarios[members[0]]);
+    }
+    ka.profile = cgra::kernel_cycle_profile(*kernel);
+    for (const std::size_t idx : members) {
+      ka.iterations +=
+          static_cast<std::uint64_t>(result.scenarios[idx].metrics.cgra_runs);
+    }
+    ka.scenario_indices = members;
+    result.attribution.push_back(std::move(ka));
   }
 
   result.kernel_compilations = cache.compilations() - compilations_before;

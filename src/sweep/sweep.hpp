@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cgra/attribution.hpp"
 #include "core/parallel.hpp"
 #include "hil/framework.hpp"
 #include "hil/turnloop.hpp"
@@ -92,11 +93,24 @@ struct SweepConfig {
   std::size_t batch_lanes = 0;
 };
 
+/// Cycle attribution for one distinct kernel of a sweep: the kernel's
+/// static per-iteration profile scaled by the summed cgra_runs of the
+/// scenarios that executed it. Derived from schedules and the deterministic
+/// metric set only — present (and byte-identical) whether or not any
+/// observability instrument is enabled.
+struct KernelAttribution {
+  cgra::KernelCycleProfile profile;
+  std::uint64_t iterations = 0;            ///< summed member cgra_runs
+  std::vector<std::size_t> scenario_indices;  ///< members, ascending
+};
+
 struct SweepResult {
   std::vector<ScenarioResult> scenarios;  ///< index-aligned with the config
   std::size_t kernel_compilations = 0;    ///< compiles performed by this sweep
   std::size_t distinct_kernels = 0;       ///< distinct keys among scenarios
   std::size_t batch_chunks = 0;           ///< lockstep chunks (0 = per-scenario)
+  /// Per-distinct-kernel hotspot data, ordered by kernel cache key.
+  std::vector<KernelAttribution> attribution;
   double wall_time_s = 0.0;
   unsigned threads_used = 0;
 };

@@ -57,6 +57,17 @@ TEST_F(ConsoleTest, ScheduleStatsReported) {
   EXPECT_NE(out.find("pe utilisation:"), std::string::npos);
 }
 
+TEST_F(ConsoleTest, HotspotsReportsPerOpCycleAttribution) {
+  console_.execute("run 0.0005");
+  const std::string out = console_.execute("hotspots");
+  EXPECT_TRUE(console_.last_ok()) << out;
+  EXPECT_NE(out.find("kernel '"), std::string::npos);
+  EXPECT_NE(out.find("cyc/iter"), std::string::npos);
+  EXPECT_NE(out.find("total_cycles"), std::string::npos);
+  // The table scales by the runs executed so far, so the header shows them.
+  EXPECT_NE(out.find("iterations"), std::string::npos);
+}
+
 TEST_F(ConsoleTest, RegisterRoundTrip) {
   console_.execute("set beam_pulse_scale 0.5");
   EXPECT_TRUE(console_.last_ok());

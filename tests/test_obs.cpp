@@ -29,138 +29,12 @@
 #include "sweep/report.hpp"
 #include "sweep/sweep.hpp"
 
+#include "json_checker.hpp"
+
 namespace citl::obs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON validator (the repo deliberately has no JSON
-// parser — it only produces JSON — so the tests carry their own checker).
-
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : s_(text) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (static_cast<unsigned char>(s_[pos_]) < 0x20) return false;
-      if (s_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        const char e = s_[pos_];
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= s_.size() || !std::isxdigit(
-                    static_cast<unsigned char>(s_[pos_]))) {
-              return false;
-            }
-          }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
-                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing '"'
-    return true;
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    if (peek() == '.') {
-      ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    return pos_ > start && std::isdigit(static_cast<unsigned char>(
-                               s_[pos_ - 1]));
-  }
-
-  bool literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
-      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
-    }
-    return true;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  [[nodiscard]] char peek() const {
-    return pos_ < s_.size() ? s_[pos_] : '\0';
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using test_support::JsonChecker;
 
 TEST(ObsJsonChecker, AcceptsAndRejects) {
   // Sanity-check the checker itself before trusting it below.
@@ -229,20 +103,21 @@ TEST(ObsGauge, SetAddAndConcurrentAdd) {
   EXPECT_DOUBLE_EQ(g.value(), 4000.0);
 }
 
-TEST(ObsHistogram, BucketBoundariesAreHalfOpenAbove) {
+TEST(ObsHistogram, BucketBoundsAreUpperInclusive) {
   Registry reg(/*enabled=*/true);
   Histogram& h = reg.histogram("test.latency", {1.0, 2.0, 5.0});
-  // A value exactly on a bound lands in the bucket ABOVE it.
-  h.observe(0.5);   // bucket 0: v < 1
-  h.observe(1.0);   // bucket 1: 1 <= v < 2
-  h.observe(1.99);  // bucket 1
-  h.observe(2.0);   // bucket 2: 2 <= v < 5
-  h.observe(5.0);   // overflow: v >= 5
-  h.observe(100.0); // overflow
-  EXPECT_EQ(h.bucket_count(0), 1u);
+  // Prometheus `le` semantics: a value exactly on a bound lands in THAT
+  // bucket, so the cumulative buckets the exposition renders are exact.
+  h.observe(0.5);   // bucket 0: v <= 1
+  h.observe(1.0);   // bucket 0 (on the bound)
+  h.observe(1.99);  // bucket 1: 1 < v <= 2
+  h.observe(2.0);   // bucket 1 (on the bound)
+  h.observe(5.0);   // bucket 2 (on the bound)
+  h.observe(100.0); // overflow: v > 5
+  EXPECT_EQ(h.bucket_count(0), 2u);
   EXPECT_EQ(h.bucket_count(1), 2u);
   EXPECT_EQ(h.bucket_count(2), 1u);
-  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
   EXPECT_EQ(h.count(), 6u);
   EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.99 + 2.0 + 5.0 + 100.0);
 }
@@ -256,8 +131,8 @@ TEST(ObsHistogram, ConcurrentObservationsKeepTotals) {
   });
   EXPECT_EQ(h.count(), 9000u);
   EXPECT_EQ(h.bucket_count(0), 3000u);  // v = 0
-  EXPECT_EQ(h.bucket_count(1), 3000u);  // v = 50
-  EXPECT_EQ(h.bucket_count(2), 3000u);  // v = 100 (>= 100 -> overflow)
+  EXPECT_EQ(h.bucket_count(1), 6000u);  // v = 50 and v = 100 (le-inclusive)
+  EXPECT_EQ(h.bucket_count(2), 0u);     // nothing above 100
   EXPECT_DOUBLE_EQ(h.sum(), 3000.0 * 150.0);
 }
 
