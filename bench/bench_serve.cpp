@@ -1,0 +1,209 @@
+// S8 — HIL-as-a-service: session-pool throughput scaling and wire overhead.
+//
+// The report steps a pool of K sessions (K = 1, 2, 4, 8) concurrently
+// through the SessionRuntime — one thread per session, every session at the
+// paper's operating point — and reports aggregate turns/second per pool
+// size. The engines are independent, so throughput should scale with the
+// pool until hardware threads (or the configured step-gate width) run out;
+// the measured scaling is the number CI tracks. A second section measures
+// the same single-session workload through the loopback TCP server to put a
+// number on the wire tax (framing + syscalls) relative to in-process calls.
+//
+// The summary is written to `BENCH_serve.json` (override with `--out
+// <path>`; `--out -` disables the file).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+#include "serve/client.hpp"
+#include "serve/runtime.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+using namespace citl;
+
+namespace {
+
+constexpr std::uint32_t kTurnsPerSession = 20000;
+constexpr std::uint32_t kChunkTurns = 2000;
+
+/// Steps `pool` sessions concurrently, one thread per session; returns
+/// aggregate turns/second.
+double pooled_throughput(std::size_t pool) {
+  serve::RuntimeConfig rc;
+  rc.occupancy_budget = 2.0 * static_cast<double>(pool);
+  serve::SessionRuntime runtime(rc);
+  std::vector<std::uint32_t> ids(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    ids[i] = runtime.create(api::SessionConfig{});
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    threads.emplace_back([&, i] {
+      for (std::uint32_t done = 0; done < kTurnsPerSession;
+           done += kChunkTurns) {
+        benchmark::DoNotOptimize(runtime.step(ids[i], kChunkTurns).size());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(pool) * kTurnsPerSession / wall;
+}
+
+/// Same single-session workload through the loopback server.
+double wire_throughput() {
+  serve::SessionServer server;
+  server.start();
+  double turns_per_s = 0.0;
+  {
+    serve::SessionClient client(server.port());
+    const auto created = client.create(api::SessionConfig{});
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t done = 0; done < kTurnsPerSession;
+         done += kChunkTurns) {
+      benchmark::DoNotOptimize(
+          client.step(created.session_id, kChunkTurns).size());
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    turns_per_s = kTurnsPerSession / wall;
+  }
+  server.stop();
+  return turns_per_s;
+}
+
+void print_report(const std::string& json_path) {
+  const std::size_t pools[] = {1, 2, 4, 8};
+  std::printf("S8 — session-pool throughput (%u turns/session, "
+              "hardware_concurrency = %u)\n\n",
+              kTurnsPerSession, std::thread::hardware_concurrency());
+
+  std::vector<double> rates;
+  io::Table t({"pool size", "turns/s", "scaling vs pool=1"});
+  for (std::size_t pool : pools) {
+    rates.push_back(pooled_throughput(pool));
+    t.add_row({io::Table::num(static_cast<double>(pool)),
+               io::Table::num(rates.back(), 0),
+               io::Table::num(rates.back() / rates.front(), 2)});
+  }
+  const double wire_rate = wire_throughput();
+  t.add_row({"1 (wire)", io::Table::num(wire_rate, 0),
+             io::Table::num(wire_rate / rates.front(), 2)});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("wire tax: %.1f%% of in-process single-session throughput\n",
+              100.0 * wire_rate / rates.front());
+
+  if (json_path.empty()) return;
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("benchmark").value(std::string_view("bench_serve"));
+  w.key("turns_per_session")
+      .value(static_cast<std::uint64_t>(kTurnsPerSession));
+  w.key("hardware_concurrency")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.key("pools").begin_array();
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    w.begin_object();
+    w.key("pool").value(static_cast<std::uint64_t>(pools[i]));
+    w.key("turns_per_second").value(rates[i]);
+    w.key("scaling").value(rates[i] / rates.front());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("wire_turns_per_second").value(wire_rate);
+  w.key("wire_fraction_of_inprocess").value(wire_rate / rates.front());
+  w.end_object();
+  io::write_text_file(json_path, w.str() + "\n");
+  std::printf("wrote %s\n", json_path.c_str());
+}
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  serve::Frame f;
+  f.opcode = serve::Opcode::kStep;
+  f.request_id = 1;
+  f.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    const auto bytes = serve::encode_frame(f);
+    serve::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    benchmark::DoNotOptimize(parser.next()->payload.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          (static_cast<std::int64_t>(f.payload.size()) + 16));
+}
+BENCHMARK(BM_FrameEncodeDecode)->Arg(48)->Arg(4096)->Arg(65536);
+
+void BM_TurnRecordEncode(benchmark::State& state) {
+  hil::TurnRecord rec;
+  rec.time_s = 1.0e-3;
+  rec.phase_rad = 0.1;
+  for (auto _ : state) {
+    serve::WireWriter w;
+    for (int i = 0; i < 100; ++i) serve::encode_turn_record(w, rec);
+    benchmark::DoNotOptimize(w.bytes().size());
+  }
+  state.SetBytesProcessed(state.iterations() * 4800);
+}
+BENCHMARK(BM_TurnRecordEncode);
+
+void BM_RuntimeStepChunk(benchmark::State& state) {
+  // In-process cost of one step() request (1000 turns), gate included.
+  serve::SessionRuntime runtime;
+  const std::uint32_t id = runtime.create(api::SessionConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.step(id, 1000).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RuntimeStepChunk)->Unit(benchmark::kMillisecond);
+
+void BM_WireStepChunk(benchmark::State& state) {
+  // The same request over loopback TCP: framing + two syscalls + the
+  // worker-pool handoff.
+  serve::SessionServer server;
+  server.start();
+  {
+    serve::SessionClient client(server.port());
+    const auto created = client.create(api::SessionConfig{});
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(client.step(created.session_id, 1000).size());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+  }
+  server.stop();
+}
+BENCHMARK(BM_WireStepChunk)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      json_path = argv[i + 1];
+      if (json_path == "-") json_path.clear();
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  print_report(json_path);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

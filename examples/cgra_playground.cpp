@@ -14,6 +14,7 @@
 
 #include "cgra/bitstream.hpp"
 #include "cgra/kernels.hpp"
+#include "api/api.hpp"
 #include "cgra/machine.hpp"
 #include "cgra/schedule.hpp"
 #include "core/error.hpp"
@@ -96,7 +97,7 @@ int main(int argc, char** argv) {
       std::printf("  iter %2d:", i + 1);
       for (const auto& s : kernel.dfg.states()) {
         std::printf("  %s = %+.6f", s.name.c_str(),
-                    machine.state(s.name));
+                    citl::api::kernel_state(machine, s.name));
       }
       std::printf("\n");
     }

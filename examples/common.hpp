@@ -1,0 +1,41 @@
+// Shared example plumbing, built on the citl::api facade.
+//
+// Every demo used to copy the same ~8 lines: pin the revolution frequency,
+// pick the SIS18 ring, derive the relativistic energy, tune the gap voltage
+// for the paper's 1.28 kHz synchrotron frequency. That is exactly what
+// api::SessionConfig describes and api::to_*_config expands, so the
+// examples now share one definition of "the paper's operating point" — and
+// any config a demo runs locally can be shipped verbatim to a session
+// server (examples/serve_client.cpp does precisely that).
+#pragma once
+
+#include "api/api.hpp"
+#include "hil/framework.hpp"
+#include "hil/turnloop.hpp"
+
+namespace citl::examples {
+
+/// The paper's operating point with no stimulus: 14N7+ in SIS18 at 800 kHz,
+/// h = 4, gap voltage tuned for f_sync ≈ 1.28 kHz, controller at gain -5.
+/// Demos add their own jump programmes / parameter grids on top.
+[[nodiscard]] inline api::SessionConfig operating_point() {
+  return api::SessionConfig{};
+}
+
+/// Sample-accurate engine config at the operating point (parameter sweeps).
+[[nodiscard]] inline hil::FrameworkConfig base_framework_config() {
+  return api::to_framework_config(operating_point());
+}
+
+/// Turn-level engine config at the operating point. `gap_voltage_override_v`
+/// > 0 pins the gap amplitude instead of deriving it from f_sync (the fault
+/// campaign uses the historical 4860 V so its detection thresholds and CI
+/// assertions stay put).
+[[nodiscard]] inline hil::TurnLoopConfig base_turnloop_config(
+    double gap_voltage_override_v = 0.0) {
+  api::SessionConfig config = operating_point();
+  config.gap_voltage_v = gap_voltage_override_v;
+  return api::to_turnloop_config(config);
+}
+
+}  // namespace citl::examples

@@ -12,27 +12,19 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/units.hpp"
 #include "hil/framework.hpp"
 #include "io/asciiplot.hpp"
 #include "io/table.hpp"
-#include "phys/relativity.hpp"
-#include "phys/synchrotron.hpp"
 
 int main(int argc, char** argv) {
   using namespace citl;
 
   const int n_bunches = argc > 1 ? std::atoi(argv[1]) : 4;
 
-  hil::FrameworkConfig fc;
-  fc.kernel.ring = phys::sis18(4);
+  hil::FrameworkConfig fc = examples::base_framework_config();
   fc.kernel.n_bunches = n_bunches;
-  fc.kernel.pipelined = true;
-  fc.f_ref_hz = 800.0e3;
-  const double gamma = phys::gamma_from_revolution_frequency(
-      fc.f_ref_hz, fc.kernel.ring.circumference_m);
-  fc.gap_voltage_v = phys::amplitude_for_synchrotron_frequency(
-      phys::ion_n14_7plus(), fc.kernel.ring, gamma, 1280.0);
   fc.jumps = ctrl::PhaseJumpProgramme(deg_to_rad(8.0), 1.0, 2.0e-3);
 
   hil::Framework fw(fc);

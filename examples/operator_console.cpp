@@ -11,22 +11,14 @@
 #include <iostream>
 #include <string>
 
+#include "common.hpp"
 #include "hil/console.hpp"
 #include "obs/metrics.hpp"
-#include "phys/relativity.hpp"
-#include "phys/synchrotron.hpp"
 
 int main(int argc, char** argv) {
   using namespace citl;
 
-  hil::FrameworkConfig fc;
-  fc.kernel.pipelined = true;
-  fc.f_ref_hz = 800.0e3;
-  const phys::Ring ring = phys::sis18(4);
-  fc.gap_voltage_v = phys::amplitude_for_synchrotron_frequency(
-      phys::ion_n14_7plus(), ring,
-      phys::gamma_from_revolution_frequency(800.0e3, ring.circumference_m),
-      1280.0);
+  hil::FrameworkConfig fc = examples::base_framework_config();
   fc.jumps = ctrl::PhaseJumpProgramme::paper();
   // The console is the monitoring surface: give it live counters.
   obs::Registry::global().set_enabled(true);

@@ -33,13 +33,12 @@
 #include <vector>
 
 #include "cgra/schedule.hpp"
+#include "common.hpp"
 #include "core/units.hpp"
 #include "ctrl/jump.hpp"
 #include "hil/turnloop.hpp"
 #include "io/table.hpp"
 #include "oracle/oracle.hpp"
-#include "phys/relativity.hpp"
-#include "phys/synchrotron.hpp"
 #include "sweep/grid.hpp"
 #include "sweep/report.hpp"
 #include "sweep/sweep.hpp"
@@ -83,16 +82,9 @@ int main(int argc, char** argv) {
   }
 
   // The paper's operating point: 800 kHz revolution frequency, gap voltage
-  // tuned for f_sync ~ 1.28 kHz, an 8-ish deg phase jump early in the run so
-  // the compared trajectories carry a real transient.
-  hil::TurnLoopConfig base;
-  base.kernel.pipelined = true;
-  base.f_ref_hz = 800.0e3;
-  const phys::Ring ring = phys::sis18(base.kernel.ring.harmonic);
-  const double gamma =
-      phys::gamma_from_revolution_frequency(800.0e3, ring.circumference_m);
-  base.gap_voltage_v = phys::amplitude_for_synchrotron_frequency(
-      phys::ion_n14_7plus(), ring, gamma, 1280.0);
+  // tuned for f_sync ~ 1.28 kHz; the grid below adds the phase-jump
+  // transient the compared trajectories carry.
+  const hil::TurnLoopConfig base = examples::base_turnloop_config();
 
   const std::vector<double> jumps =
       quick ? std::vector<double>{4, 8} : std::vector<double>{4, 6, 8, 10};

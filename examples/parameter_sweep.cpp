@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "core/units.hpp"
 #include "hil/framework.hpp"
 #include "io/json.hpp"
@@ -45,8 +46,6 @@
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
-#include "phys/relativity.hpp"
-#include "phys/synchrotron.hpp"
 #include "sweep/grid.hpp"
 #include "sweep/report.hpp"
 #include "sweep/sweep.hpp"
@@ -97,14 +96,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  hil::FrameworkConfig base;
-  base.kernel.pipelined = true;
-  base.f_ref_hz = 800.0e3;
-  const phys::Ring ring = phys::sis18(4);
-  const double gamma =
-      phys::gamma_from_revolution_frequency(800.0e3, ring.circumference_m);
-  base.gap_voltage_v = phys::amplitude_for_synchrotron_frequency(
-      phys::ion_n14_7plus(), ring, gamma, 1280.0);
+  const hil::FrameworkConfig base = examples::base_framework_config();
 
   if (!trace_path.empty()) obs::Tracer::global().set_enabled(true);
   if (!metrics_path.empty() || !prom_path.empty() || serve) {

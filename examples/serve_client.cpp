@@ -1,0 +1,141 @@
+// End-to-end citl-wire-v1 client session: connect to a running citl_serve
+// daemon, create a session at the paper's operating point, step it through
+// the first phase jump, poke a kernel parameter over the wire, demonstrate
+// snapshot/rewind, and — the part CI gates on — verify that the turn
+// records streamed back over the wire are BIT-identical to an in-process
+// hil::TurnLoop replay of the same api::SessionConfig. The facade expands
+// both sides and doubles travel as raw binary64, so any mismatch means a
+// protocol bug, not rounding.
+//
+// Usage: serve_client <port> [--turns N] [--quiet]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common.hpp"
+#include "core/units.hpp"
+#include "hil/turnloop.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+[[nodiscard]] bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+[[nodiscard]] bool records_bit_equal(const citl::hil::TurnRecord& a,
+                                     const citl::hil::TurnRecord& b) {
+  return bit_equal(a.time_s, b.time_s) && bit_equal(a.phase_rad, b.phase_rad) &&
+         bit_equal(a.dt_s, b.dt_s) && bit_equal(a.dgamma, b.dgamma) &&
+         bit_equal(a.correction_hz, b.correction_hz) &&
+         bit_equal(a.gap_phase_rad, b.gap_phase_rad);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace citl;
+
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: serve_client <port> [--turns N] [--quiet]\n");
+    return 2;
+  }
+  const int port = std::atoi(argv[1]);
+  std::uint32_t turns = 2000;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--turns") == 0 && i + 1 < argc) {
+      turns = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    }
+  }
+
+  try {
+    serve::SessionClient client(static_cast<std::uint16_t>(port));
+
+    // The paper's §V point with the 8 deg jump programme — the same config
+    // struct a local run would pass to api::to_turnloop_config.
+    const api::SessionConfig config = api::paper_operating_point();
+    const serve::CreateResult created = client.create(config);
+    std::printf("session %u: schedule %u ticks, budget %.0f cycles, "
+                "static occupancy %.3f\n",
+                created.session_id, created.schedule_length,
+                created.budget_cycles, created.occupancy_estimate);
+
+    // Step through the jump, collecting the streamed turn records.
+    std::vector<hil::TurnRecord> wire;
+    wire.reserve(turns);
+    const std::uint32_t chunk = 500;
+    for (std::uint32_t done = 0; done < turns;) {
+      const std::uint32_t n = std::min(chunk, turns - done);
+      const auto batch = client.step(created.session_id, n);
+      wire.insert(wire.end(), batch.begin(), batch.end());
+      done += n;
+    }
+    std::printf("stepped %zu turns over the wire; t = %.3f ms, last phase "
+                "error %.4f deg\n",
+                wire.size(), wire.back().time_s * 1e3,
+                rad_to_deg(wire.back().phase_rad));
+
+    // Parameter access by name, exactly the console's vocabulary.
+    const double v_scale = client.param(created.session_id, "v_scale");
+    if (!quiet) std::printf("param v_scale = %.10g\n", v_scale);
+
+    // Snapshot, run on, rewind, re-run: the replay after restore must be
+    // bit-identical to the first pass (server-side checkpoints).
+    const std::uint32_t snap = client.snapshot(created.session_id);
+    const auto first = client.step(created.session_id, 200);
+    client.restore(created.session_id, snap);
+    const auto replay = client.step(created.session_id, 200);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      if (!records_bit_equal(first[i], replay[i])) {
+        std::fprintf(stderr,
+                     "FAIL: replay diverged from snapshot at turn %zu\n", i);
+        return 1;
+      }
+    }
+    std::printf("snapshot %u: 200-turn replay after restore is "
+                "bit-identical\n", snap);
+    client.restore(created.session_id, snap);
+
+    // The acceptance check: an in-process TurnLoop fed the same config must
+    // produce byte-identical records to what the server streamed.
+    hil::TurnLoop local(api::to_turnloop_config(config));
+    std::size_t mismatches = 0;
+    std::size_t turn_index = 0;
+    local.run(static_cast<std::int64_t>(wire.size()),
+              [&](const hil::TurnRecord& rec) {
+                if (turn_index < wire.size() &&
+                    !records_bit_equal(rec, wire[turn_index])) {
+                  ++mismatches;
+                }
+                ++turn_index;
+              });
+    if (mismatches != 0 || turn_index != wire.size()) {
+      std::fprintf(stderr,
+                   "FAIL: wire records differ from in-process replay "
+                   "(%zu mismatches over %zu turns)\n",
+                   mismatches, turn_index);
+      return 1;
+    }
+    std::printf("wire vs in-process: %zu turns byte-identical\n", wire.size());
+
+    const serve::StatsResult stats = client.stats();
+    std::printf("server: %u active sessions, %llu created, %llu turns "
+                "stepped, occupancy %.3f\n",
+                stats.active_sessions,
+                static_cast<unsigned long long>(stats.sessions_created),
+                static_cast<unsigned long long>(stats.turns_stepped),
+                stats.occupancy_admitted);
+
+    client.destroy(created.session_id);
+    std::printf("session %u destroyed — OK\n", created.session_id);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_client: %s\n", e.what());
+    return 1;
+  }
+}

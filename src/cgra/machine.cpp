@@ -25,7 +25,7 @@ namespace {
     for (const auto& s : kernel.dfg.states()) msg += " " + s.name;
   }
   msg += ")";
-  throw ConfigError(msg);
+  throw ConfigError(msg, ErrorCode::kUnknownKey);
 }
 
 }  // namespace
@@ -34,15 +34,17 @@ namespace detail {
 
 void throw_invalid_handle(const CompiledKernel& kernel, const char* what) {
   throw ConfigError(std::string("invalid ") + what + " handle for kernel '" +
-                    kernel.name + "'");
+                        kernel.name + "'",
+                    ErrorCode::kUnknownKey);
 }
 
 void throw_lane_out_of_range(const CompiledKernel& kernel, std::size_t lane,
                              std::size_t lanes) {
   throw ConfigError("lane " + std::to_string(lane) +
-                    " out of range in kernel '" + kernel.name + "' (" +
-                    std::to_string(lanes) +
-                    (lanes == 1 ? " lane)" : " lanes)"));
+                        " out of range in kernel '" + kernel.name + "' (" +
+                        std::to_string(lanes) +
+                        (lanes == 1 ? " lane)" : " lanes)"),
+                    ErrorCode::kOutOfRange);
 }
 
 }  // namespace detail

@@ -163,11 +163,19 @@ class CgraMachine final : public BeamModel {
   void restore_pipe_regs(std::size_t lane, const double* values) override;
 
   // --- string-keyed access (deprecated wrappers) --------------------------
-  // Resolve a handle per call and delegate; fine for consoles and tests,
-  // wrong for anything per-revolution. Prefer param_handle()/state_handle().
+  // Resolve a handle per call and delegate. Deprecated: use
+  // param_handle()/state_handle() on hot paths, or the citl::api by-name
+  // helpers (api/api.hpp) for interactive/RPC access — they carry the same
+  // per-call-resolution semantics without pinning callers to CgraMachine.
+  [[deprecated("use param_handle()/set_param(handle,...) or "
+               "api::set_kernel_param")]]
   void set_param(const std::string& name, double value);
+  [[deprecated("use param_handle()/param(handle,...) or api::kernel_param")]]
   [[nodiscard]] double param(const std::string& name) const;
+  [[deprecated("use state_handle()/state(handle,...) or api::kernel_state")]]
   [[nodiscard]] double state(const std::string& name) const;
+  [[deprecated("use state_handle()/set_state(handle,...) or "
+               "api::set_kernel_state")]]
   void set_state(const std::string& name, double value);
 
   /// Runs one loop iteration functionally.

@@ -2,14 +2,39 @@
 //
 // Library-internal invariants use CITL_CHECK (always on, throws
 // std::logic_error) so misuse is loud in tests and benches alike. User-facing
-// configuration problems throw ConfigError with a descriptive message.
+// configuration problems throw ConfigError with a descriptive message and a
+// typed ErrorCode, so a remote client of the session server receives the same
+// classification a library caller catches in-process.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace citl {
+
+/// Machine-readable classification of every user-facing error, shared by the
+/// in-process exception hierarchy and the citl-wire-v1 protocol's response
+/// status field (docs/SERVING.md). Values are wire-stable: never renumber,
+/// only append.
+enum class ErrorCode : std::uint16_t {
+  kOk = 0,                 ///< wire only: success status
+  kInvalidConfig = 1,      ///< inconsistent user-supplied configuration
+  kUnknownKey = 2,         ///< unknown parameter/state/register/target name
+  kOutOfRange = 3,         ///< lane, index or value outside the valid range
+  kUnsupported = 4,        ///< operation not valid for this engine/fidelity
+  kCompileFailed = 5,      ///< kernel-language source failed to compile
+  kNotFound = 6,           ///< named entity (session, snapshot, file) absent
+  kBadState = 7,           ///< operation illegal in the current state
+  kAdmissionRejected = 8,  ///< session runtime refused the load
+  kBadFrame = 9,           ///< malformed citl-wire-v1 frame
+  kInternal = 10,          ///< unclassified failure
+};
+
+/// Stable lower_snake name of a code ("admission_rejected"), for logs and
+/// error messages; "unknown" for values outside the enum.
+[[nodiscard]] const char* error_code_name(ErrorCode code) noexcept;
 
 /// Common base of every user-facing library error. Catching citl::Error is
 /// the supported way to handle "the caller asked for something impossible"
@@ -17,13 +42,24 @@ namespace citl {
 /// std::logic_error from CITL_CHECK still means a library bug.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kInternal)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
-/// Thrown when a user-supplied configuration is inconsistent.
+/// Thrown when a user-supplied configuration is inconsistent. The default
+/// code is kInvalidConfig; sites that can say more precisely what went wrong
+/// (unknown key, out-of-range lane, unsupported combination) pass it.
 class ConfigError : public Error {
  public:
-  explicit ConfigError(const std::string& what) : Error(what) {}
+  explicit ConfigError(const std::string& what,
+                       ErrorCode code = ErrorCode::kInvalidConfig)
+      : Error(what, code) {}
 };
 
 /// Thrown when kernel-language source fails to compile for the CGRA.
@@ -31,7 +67,8 @@ class CompileError : public Error {
  public:
   CompileError(const std::string& what, int line, int column)
       : Error(what + " (line " + std::to_string(line) + ", column " +
-              std::to_string(column) + ")"),
+                  std::to_string(column) + ")",
+              ErrorCode::kCompileFailed),
         line_(line),
         column_(column) {}
 
@@ -42,6 +79,23 @@ class CompileError : public Error {
   int line_;
   int column_;
 };
+
+inline const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidConfig: return "invalid_config";
+    case ErrorCode::kUnknownKey: return "unknown_key";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kCompileFailed: return "compile_failed";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kBadState: return "bad_state";
+    case ErrorCode::kAdmissionRejected: return "admission_rejected";
+    case ErrorCode::kBadFrame: return "bad_frame";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
 
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,

@@ -28,7 +28,8 @@ FaultKind fault_kind_from_string(std::string_view name) {
         FaultKind::kStallCycles}) {
     if (name == to_string(kind)) return kind;
   }
-  throw ConfigError("unknown fault kind: \"" + std::string(name) + "\"");
+  throw ConfigError("unknown fault kind: \"" + std::string(name) + "\"",
+                    ErrorCode::kUnknownKey);
 }
 
 namespace {

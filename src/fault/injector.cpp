@@ -53,8 +53,10 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t stream_seed,
     const FaultSpec& spec = plan_.entries[i];
     if (host == Host::kTurnLevel && framework_only(spec.kind)) {
       throw ConfigError(entry_label(plan_, i) +
-                        ": this kind acts on converter codes or parameter "
-                        "registers and requires the sample-accurate framework");
+                            ": this kind acts on converter codes or parameter "
+                            "registers and requires the sample-accurate "
+                            "framework",
+                        ErrorCode::kUnsupported);
     }
     entries_.push_back(
         Entry{spec, Rng(entry_stream(spec.seed, stream_seed)), {}, false});
@@ -71,8 +73,9 @@ void FaultInjector::resolve_targets(const cgra::CompiledKernel& kernel) {
 
 void FaultInjector::throw_bad_param_target(std::size_t index) const {
   throw ConfigError(entry_label(plan_, index) +
-                    ": no parameter register named \"" +
-                    plan_.entries[index].target + "\"");
+                        ": no parameter register named \"" +
+                        plan_.entries[index].target + "\"",
+                    ErrorCode::kUnknownKey);
 }
 
 void FaultInjector::begin_tick(std::int64_t tick) {

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "api/api.hpp"
 #include "cgra/attribution.hpp"
 #include "cgra/schedule.hpp"
 #include "core/units.hpp"
@@ -149,24 +150,24 @@ std::string Console::execute(const std::string& line) {
     if (cmd == "param" && (toks.size() == 2 || toks.size() == 3)) {
       if (toks.size() == 2) {
         std::ostringstream os;
-        os << std::setprecision(10) << fw_.machine().param(toks[1]);
+        os << std::setprecision(10) << api::kernel_param(fw_.machine(), toks[1]);
         return ok(os.str());
       }
       double v = 0.0;
       if (!parse_double(toks[2], &v)) return error("bad value " + toks[2]);
-      fw_.machine().set_param(toks[1], v);
+      api::set_kernel_param(fw_.machine(), toks[1], v);
       return ok("param " + toks[1] + " updated");
     }
 
     if (cmd == "state" && (toks.size() == 2 || toks.size() == 3)) {
       if (toks.size() == 2) {
         std::ostringstream os;
-        os << std::setprecision(10) << fw_.machine().state(toks[1]);
+        os << std::setprecision(10) << api::kernel_state(fw_.machine(), toks[1]);
         return ok(os.str());
       }
       double v = 0.0;
       if (!parse_double(toks[2], &v)) return error("bad value " + toks[2]);
-      fw_.machine().set_state(toks[1], v);
+      api::set_kernel_state(fw_.machine(), toks[1], v);
       return ok("state " + toks[1] + " overridden");
     }
 

@@ -41,7 +41,8 @@ class ParameterBus {
   [[nodiscard]] double get(const std::string& name) const {
     const auto it = regs_.find(name);
     if (it == regs_.end()) {
-      throw ConfigError("unknown parameter register: " + name);
+      throw ConfigError("unknown parameter register: " + name,
+                        ErrorCode::kUnknownKey);
     }
     return it->second;
   }
@@ -51,7 +52,8 @@ class ParameterBus {
   [[nodiscard]] Handle handle(const std::string& name) const {
     const auto it = regs_.find(name);
     if (it == regs_.end()) {
-      throw ConfigError("unknown parameter register: " + name);
+      throw ConfigError("unknown parameter register: " + name,
+                        ErrorCode::kUnknownKey);
     }
     return &it->second;
   }

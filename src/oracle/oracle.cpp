@@ -366,7 +366,8 @@ OracleReport run_oracle(const hil::TurnLoopConfig& loop_config,
     throw ConfigError(
         "oracle: a candidate kernel override needs a machine-backed "
         "candidate fidelity — the host reference does not execute the "
-        "kernel's context memories");
+        "kernel's context memories",
+        ErrorCode::kUnsupported);
   }
   if (oracle_config.reference == oracle_config.candidate &&
       oracle_config.candidate_kernel == nullptr) {
@@ -672,7 +673,8 @@ cgra::CompiledKernel perturb_kernel_constant(const cgra::CompiledKernel& kernel,
 std::vector<TraceRow> load_repro_trace(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw ConfigError("load_repro_trace: cannot open '" + path + "'");
+    throw ConfigError("load_repro_trace: cannot open '" + path + "'",
+                      ErrorCode::kNotFound);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();

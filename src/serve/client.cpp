@@ -1,0 +1,226 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace citl::serve {
+
+namespace {
+
+[[nodiscard]] bool is_config_code(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidConfig:
+    case ErrorCode::kUnknownKey:
+    case ErrorCode::kOutOfRange:
+    case ErrorCode::kUnsupported:
+    case ErrorCode::kAdmissionRejected:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Re-throws a response's error status as the library-equivalent exception.
+[[noreturn]] void throw_status(ErrorCode code, const std::string& message) {
+  if (is_config_code(code)) throw ConfigError(message, code);
+  throw Error(message, code);
+}
+
+}  // namespace
+
+SessionClient::SessionClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw ConfigError("session client: socket() failed: " +
+                      std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ConfigError("session client: cannot connect to 127.0.0.1:" +
+                      std::to_string(port) + ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  const Frame hello = request(Opcode::kHello, 0, {});
+  WireReader r(hello.payload);
+  const std::string magic = r.str();
+  r.expect_end();
+  if (magic != "citl-wire-v1") {
+    throw ConfigError("session client: unexpected handshake \"" + magic +
+                          "\"",
+                      ErrorCode::kBadFrame);
+  }
+}
+
+SessionClient::~SessionClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame SessionClient::request(Opcode op, std::uint32_t session_id,
+                             std::vector<std::uint8_t> payload) {
+  Frame req;
+  req.opcode = op;
+  req.request_id = next_request_id_++;
+  req.session_id = session_id;
+  req.payload = std::move(payload);
+  const std::vector<std::uint8_t> bytes = encode_frame(req);
+
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("session client: write failed: " +
+                      std::string(std::strerror(errno)),
+                  ErrorCode::kInternal);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+
+  for (;;) {
+    if (auto frame = parser_.next()) {
+      if (frame->request_id != req.request_id) {
+        throw Error("session client: response correlates to request " +
+                        std::to_string(frame->request_id) + ", expected " +
+                        std::to_string(req.request_id),
+                    ErrorCode::kBadFrame);
+      }
+      if (frame->status != ErrorCode::kOk) {
+        WireReader r(frame->payload);
+        throw_status(frame->status, r.str());
+      }
+      return std::move(*frame);
+    }
+    std::uint8_t buf[65536];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      parser_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw Error("session client: connection closed by server while waiting "
+                "for a response",
+                ErrorCode::kInternal);
+  }
+}
+
+CreateResult SessionClient::create(const api::SessionConfig& config) {
+  WireWriter w;
+  encode_session_config(w, config);
+  const Frame resp = request(Opcode::kCreateSession, 0, w.take());
+  WireReader r(resp.payload);
+  CreateResult out;
+  out.session_id = resp.session_id;
+  out.schedule_length = r.u32();
+  out.budget_cycles = r.f64();
+  out.occupancy_estimate = r.f64();
+  r.expect_end();
+  return out;
+}
+
+void SessionClient::destroy(std::uint32_t session_id) {
+  request(Opcode::kDestroySession, session_id, {});
+}
+
+std::vector<hil::TurnRecord> SessionClient::step(std::uint32_t session_id,
+                                                 std::uint32_t turns) {
+  WireWriter w;
+  w.u32(turns);
+  const Frame resp = request(Opcode::kStep, session_id, w.take());
+  WireReader r(resp.payload);
+  const std::uint32_t count = r.u32();
+  std::vector<hil::TurnRecord> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(decode_turn_record(r));
+  }
+  r.expect_end();
+  return out;
+}
+
+void SessionClient::set_param(std::uint32_t session_id, std::string_view name,
+                              double value) {
+  WireWriter w;
+  w.str(name);
+  w.f64(value);
+  request(Opcode::kSetParam, session_id, w.take());
+}
+
+double SessionClient::param(std::uint32_t session_id, std::string_view name) {
+  WireWriter w;
+  w.str(name);
+  const Frame resp = request(Opcode::kGetParam, session_id, w.take());
+  WireReader r(resp.payload);
+  const double v = r.f64();
+  r.expect_end();
+  return v;
+}
+
+void SessionClient::set_state(std::uint32_t session_id, std::string_view name,
+                              double value) {
+  WireWriter w;
+  w.str(name);
+  w.f64(value);
+  request(Opcode::kSetState, session_id, w.take());
+}
+
+double SessionClient::state(std::uint32_t session_id, std::string_view name) {
+  WireWriter w;
+  w.str(name);
+  const Frame resp = request(Opcode::kGetState, session_id, w.take());
+  WireReader r(resp.payload);
+  const double v = r.f64();
+  r.expect_end();
+  return v;
+}
+
+void SessionClient::enable_control(std::uint32_t session_id, bool on) {
+  WireWriter w;
+  w.u8(on ? 1 : 0);
+  request(Opcode::kEnableControl, session_id, w.take());
+}
+
+std::uint32_t SessionClient::snapshot(std::uint32_t session_id) {
+  const Frame resp = request(Opcode::kSnapshot, session_id, {});
+  WireReader r(resp.payload);
+  const std::uint32_t id = r.u32();
+  r.expect_end();
+  return id;
+}
+
+void SessionClient::restore(std::uint32_t session_id,
+                            std::uint32_t snapshot_id) {
+  WireWriter w;
+  w.u32(snapshot_id);
+  request(Opcode::kRestore, session_id, w.take());
+}
+
+StatsResult SessionClient::stats() {
+  const Frame resp = request(Opcode::kStats, 0, {});
+  WireReader r(resp.payload);
+  StatsResult out;
+  out.active_sessions = r.u32();
+  out.sessions_created = r.u64();
+  out.admission_rejections = r.u64();
+  out.step_requests = r.u64();
+  out.turns_stepped = r.u64();
+  out.occupancy_admitted = r.f64();
+  r.expect_end();
+  return out;
+}
+
+}  // namespace citl::serve

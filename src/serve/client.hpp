@@ -1,0 +1,82 @@
+// SessionClient: a blocking citl-wire-v1 client.
+//
+// One TCP connection, synchronous request/response. Error parity with the
+// library is the point: a non-kOk response status re-throws as the same
+// citl::Error subclass an in-process caller would have caught — config-class
+// codes (invalid config, unknown key, out of range, unsupported, admission
+// rejected) as ConfigError, everything else as Error — carrying the server's
+// message verbatim. Code written against SessionRuntime works unchanged
+// against a SessionClient.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/api.hpp"
+#include "hil/turnloop.hpp"
+#include "serve/wire.hpp"
+
+namespace citl::serve {
+
+/// What create() returns beyond the session id.
+struct CreateResult {
+  std::uint32_t session_id = 0;
+  unsigned schedule_length = 0;
+  double budget_cycles = 0.0;
+  double occupancy_estimate = 0.0;
+};
+
+/// Stats response (subset of RuntimeStats that crosses the wire).
+struct StatsResult {
+  std::uint32_t active_sessions = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t admission_rejections = 0;
+  std::uint64_t step_requests = 0;
+  std::uint64_t turns_stepped = 0;
+  double occupancy_admitted = 0.0;
+};
+
+class SessionClient {
+ public:
+  /// Connects to 127.0.0.1:`port` and performs the hello handshake.
+  /// Throws ConfigError when the connection or handshake fails.
+  explicit SessionClient(std::uint16_t port);
+  ~SessionClient();
+
+  SessionClient(const SessionClient&) = delete;
+  SessionClient& operator=(const SessionClient&) = delete;
+
+  [[nodiscard]] CreateResult create(const api::SessionConfig& config);
+  void destroy(std::uint32_t session_id);
+
+  [[nodiscard]] std::vector<hil::TurnRecord> step(std::uint32_t session_id,
+                                                  std::uint32_t turns);
+
+  void set_param(std::uint32_t session_id, std::string_view name,
+                 double value);
+  [[nodiscard]] double param(std::uint32_t session_id, std::string_view name);
+  void set_state(std::uint32_t session_id, std::string_view name,
+                 double value);
+  [[nodiscard]] double state(std::uint32_t session_id, std::string_view name);
+
+  void enable_control(std::uint32_t session_id, bool on);
+
+  [[nodiscard]] std::uint32_t snapshot(std::uint32_t session_id);
+  void restore(std::uint32_t session_id, std::uint32_t snapshot_id);
+
+  [[nodiscard]] StatsResult stats();
+
+ private:
+  /// Sends one request and blocks for its response; throws the typed error
+  /// on a non-kOk status. Returns the response payload reader state.
+  Frame request(Opcode op, std::uint32_t session_id,
+                std::vector<std::uint8_t> payload);
+
+  int fd_ = -1;
+  std::uint32_t next_request_id_ = 1;
+  FrameParser parser_;
+};
+
+}  // namespace citl::serve

@@ -1,0 +1,396 @@
+#include "serve/runtime.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <utility>
+
+namespace citl::serve {
+
+// --- deadline-aware step gate ---------------------------------------------
+// A counting gate of `width` slots whose waiters are admitted in priority
+// order (highest first; FIFO among equals). Priority is the session's
+// current occupancy estimate: the session with the least real-time headroom
+// steps before comfortable ones when slots are contended.
+class SessionRuntime::StepGate {
+ public:
+  explicit StepGate(unsigned width) : width_(width == 0 ? 1 : width) {}
+
+  void acquire(double priority) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    const std::uint64_t seq = next_seq_++;
+    // Order by descending priority, then arrival. Keys are unique via seq.
+    const Key key{-priority, seq};
+    waiting_.insert(key);
+    cv_.wait(lk, [&] {
+      return running_ < width_ && *waiting_.begin() == key;
+    });
+    waiting_.erase(key);
+    ++running_;
+    // A freed slot may admit the next-highest waiter too.
+    if (running_ < width_ && !waiting_.empty()) cv_.notify_all();
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      --running_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  using Key = std::pair<double, std::uint64_t>;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  unsigned width_;
+  unsigned running_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::set<Key> waiting_;
+};
+
+// --- session --------------------------------------------------------------
+
+struct SessionRuntime::Session {
+  Session(std::uint32_t id_, api::SessionConfig api_config_,
+          hil::TurnLoopConfig config_,
+          std::shared_ptr<const cgra::CompiledKernel> kernel)
+      : id(id_),
+        api_config(api_config_),
+        config(config_),
+        loop(config_, std::move(kernel)) {}
+
+  const std::uint32_t id;
+  const api::SessionConfig api_config;
+  const hil::TurnLoopConfig config;
+
+  /// Serialises every engine operation on this session.
+  std::mutex mutex;
+  hil::TurnLoop loop;
+
+  double static_occupancy = 0.0;
+  double budget_cycles = 0.0;
+  unsigned schedule_length = 0;
+
+  std::map<std::uint32_t, hil::TurnLoop::Checkpoint> snapshots;
+  std::uint32_t next_snapshot_id = 1;
+
+  // Published (lock-free) views of the stepped state, refreshed after each
+  // step while the session mutex is held. Admission control, the step-gate
+  // priority, info() and the metrics collector read these without taking
+  // the session mutex, so a long-running step cannot stall them.
+  std::atomic<double> occupancy{0.0};
+  std::atomic<std::int64_t> turn{0};
+  std::atomic<double> time_s{0.0};
+  std::atomic<std::int64_t> realtime_violations{0};
+  std::atomic<bool> aborted{false};
+
+  /// Refresh the published views from the loop. Caller holds `mutex`.
+  void publish() {
+    const auto& d = loop.deadline();
+    occupancy.store(d.revolutions() > 0 ? d.occupancy_quantile(0.99)
+                                        : static_occupancy,
+                    std::memory_order_relaxed);
+    turn.store(loop.turn(), std::memory_order_relaxed);
+    time_s.store(loop.time_s(), std::memory_order_relaxed);
+    realtime_violations.store(loop.realtime_violations(),
+                              std::memory_order_relaxed);
+    aborted.store(loop.aborted(), std::memory_order_relaxed);
+  }
+};
+
+// --- runtime --------------------------------------------------------------
+
+SessionRuntime::SessionRuntime(RuntimeConfig config)
+    : config_(config),
+      cache_(config.cache != nullptr ? config.cache : &own_cache_),
+      gate_(std::make_unique<StepGate>(
+          config.max_concurrent_steps != 0
+              ? config.max_concurrent_steps
+              : std::thread::hardware_concurrency())) {}
+
+SessionRuntime::~SessionRuntime() = default;
+
+std::shared_ptr<SessionRuntime::Session> SessionRuntime::find(
+    std::uint32_t id) {
+  std::lock_guard<std::mutex> lk(sessions_mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw Error("session " + std::to_string(id) + " not found",
+                ErrorCode::kNotFound);
+  }
+  return it->second;
+}
+
+double SessionRuntime::occupancy_estimate(const Session& s) {
+  return s.occupancy.load(std::memory_order_relaxed);
+}
+
+double SessionRuntime::aggregate_occupancy_locked() {
+  double sum = 0.0;
+  for (const auto& [id, s] : sessions_) sum += occupancy_estimate(*s);
+  return sum;
+}
+
+std::uint32_t SessionRuntime::create(const api::SessionConfig& config) {
+  // Expand + validate first: a malformed config is kInvalidConfig (etc.),
+  // never an admission problem.
+  const hil::TurnLoopConfig tl = api::to_turnloop_config(config);
+
+  {
+    // Cheap pre-check before paying for a compilation.
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    if (sessions_.size() >= config_.max_sessions) {
+      admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+      throw ConfigError(
+          "admission rejected: session pool is full (" +
+              std::to_string(sessions_.size()) + " of " +
+              std::to_string(config_.max_sessions) + " sessions live)",
+          ErrorCode::kAdmissionRejected);
+    }
+  }
+
+  const auto kind = tl.synthesize_waveform ? sweep::KernelKind::kAnalytic
+                                           : sweep::KernelKind::kSampled;
+  auto kernel =
+      cache_->get(hil::TurnLoop::effective_kernel_config(tl), tl.arch, kind);
+
+  // One revolution's budget at the CGRA clock vs one kernel iteration.
+  const double budget_cycles = kernel->arch.clock_hz / tl.f_ref_hz;
+  const double static_occupancy =
+      static_cast<double>(kernel->schedule.length) / budget_cycles;
+
+  std::lock_guard<std::mutex> lk(sessions_mutex_);
+  if (sessions_.size() >= config_.max_sessions) {
+    admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+    throw ConfigError(
+        "admission rejected: session pool is full (" +
+            std::to_string(sessions_.size()) + " of " +
+            std::to_string(config_.max_sessions) + " sessions live)",
+        ErrorCode::kAdmissionRejected);
+  }
+  const double aggregate = aggregate_occupancy_locked();
+  if (aggregate + static_occupancy > config_.occupancy_budget) {
+    admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "admission rejected: aggregate CGRA occupancy %.3f + new "
+                  "session's %.3f exceeds the %.3f budget",
+                  aggregate, static_occupancy, config_.occupancy_budget);
+    throw ConfigError(buf, ErrorCode::kAdmissionRejected);
+  }
+
+  const std::uint32_t id = next_id_++;
+  auto session = std::make_shared<Session>(id, config, tl, std::move(kernel));
+  session->static_occupancy = static_occupancy;
+  session->budget_cycles = budget_cycles;
+  session->schedule_length = session->loop.kernel().schedule.length;
+  session->occupancy.store(static_occupancy, std::memory_order_relaxed);
+  sessions_.emplace(id, std::move(session));
+  sessions_created_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void SessionRuntime::destroy(std::uint32_t id) {
+  std::shared_ptr<Session> doomed;  // deleted outside the lock
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      throw Error("session " + std::to_string(id) + " not found",
+                  ErrorCode::kNotFound);
+    }
+    doomed = std::move(it->second);
+    sessions_.erase(it);
+  }
+  sessions_destroyed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<hil::TurnRecord> SessionRuntime::step(std::uint32_t id,
+                                                  std::uint32_t turns) {
+  if (turns > config_.max_turns_per_step) {
+    throw ConfigError("step of " + std::to_string(turns) +
+                          " turns exceeds max_turns_per_step (" +
+                          std::to_string(config_.max_turns_per_step) + ")",
+                      ErrorCode::kOutOfRange);
+  }
+  auto s = find(id);
+  step_requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> session_lock(s->mutex);
+  if (s->loop.aborted()) {
+    throw Error("session " + std::to_string(id) +
+                    " was aborted by its supervisor's deadline policy",
+                ErrorCode::kBadState);
+  }
+  std::vector<hil::TurnRecord> out;
+  out.reserve(turns);
+  {
+    // RAII slot so exceptions thrown mid-step still release the gate.
+    gate_->acquire(occupancy_estimate(*s));
+    struct Release {
+      StepGate* gate;
+      ~Release() { gate->release(); }
+    } release{gate_.get()};
+    s->loop.run(static_cast<std::int64_t>(turns),
+                [&](const hil::TurnRecord& rec) { out.push_back(rec); });
+  }
+  s->publish();
+  turns_stepped_.fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
+}
+
+void SessionRuntime::set_param(std::uint32_t id, std::string_view name,
+                               double value) {
+  auto s = find(id);
+  std::lock_guard<std::mutex> lk(s->mutex);
+  api::set_kernel_param(s->loop.model(), name, value, s->loop.lane());
+}
+
+double SessionRuntime::param(std::uint32_t id, std::string_view name) {
+  auto s = find(id);
+  std::lock_guard<std::mutex> lk(s->mutex);
+  return api::kernel_param(s->loop.model(), name, s->loop.lane());
+}
+
+void SessionRuntime::set_state(std::uint32_t id, std::string_view name,
+                               double value) {
+  auto s = find(id);
+  std::lock_guard<std::mutex> lk(s->mutex);
+  api::set_kernel_state(s->loop.model(), name, value, s->loop.lane());
+}
+
+double SessionRuntime::state(std::uint32_t id, std::string_view name) {
+  auto s = find(id);
+  std::lock_guard<std::mutex> lk(s->mutex);
+  return api::kernel_state(s->loop.model(), name, s->loop.lane());
+}
+
+void SessionRuntime::enable_control(std::uint32_t id, bool on) {
+  auto s = find(id);
+  std::lock_guard<std::mutex> lk(s->mutex);
+  s->loop.enable_control(on);
+}
+
+std::uint32_t SessionRuntime::snapshot(std::uint32_t id) {
+  auto s = find(id);
+  std::lock_guard<std::mutex> lk(s->mutex);
+  if (s->api_config.supervised) {
+    throw ConfigError(
+        "snapshot: supervised sessions cannot be checkpointed (supervisor "
+        "state is not part of the image)",
+        ErrorCode::kUnsupported);
+  }
+  if (s->snapshots.size() >= config_.max_snapshots_per_session) {
+    throw ConfigError(
+        "snapshot: session " + std::to_string(id) + " already holds " +
+            std::to_string(s->snapshots.size()) +
+            " snapshots (max_snapshots_per_session)",
+        ErrorCode::kOutOfRange);
+  }
+  const std::uint32_t snap_id = s->next_snapshot_id++;
+  s->snapshots.emplace(snap_id, s->loop.checkpoint());
+  return snap_id;
+}
+
+void SessionRuntime::restore(std::uint32_t id, std::uint32_t snapshot_id) {
+  auto s = find(id);
+  std::lock_guard<std::mutex> lk(s->mutex);
+  auto it = s->snapshots.find(snapshot_id);
+  if (it == s->snapshots.end()) {
+    throw Error("snapshot " + std::to_string(snapshot_id) +
+                    " not found in session " + std::to_string(id),
+                ErrorCode::kNotFound);
+  }
+  s->loop.restore(it->second);
+  s->publish();
+}
+
+SessionInfo SessionRuntime::info(std::uint32_t id) {
+  auto s = find(id);
+  SessionInfo out;
+  out.id = s->id;
+  out.schedule_length = s->schedule_length;
+  out.budget_cycles = s->budget_cycles;
+  out.occupancy_estimate = occupancy_estimate(*s);
+  out.turn = s->turn.load(std::memory_order_relaxed);
+  out.time_s = s->time_s.load(std::memory_order_relaxed);
+  out.realtime_violations =
+      s->realtime_violations.load(std::memory_order_relaxed);
+  out.supervised = s->api_config.supervised;
+  out.aborted = s->aborted.load(std::memory_order_relaxed);
+  return out;
+}
+
+RuntimeStats SessionRuntime::stats() {
+  RuntimeStats out;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    out.active_sessions = sessions_.size();
+    out.occupancy_admitted = aggregate_occupancy_locked();
+  }
+  out.sessions_created = sessions_created_.load(std::memory_order_relaxed);
+  out.sessions_destroyed =
+      sessions_destroyed_.load(std::memory_order_relaxed);
+  out.admission_rejections =
+      admission_rejections_.load(std::memory_order_relaxed);
+  out.step_requests = step_requests_.load(std::memory_order_relaxed);
+  out.turns_stepped = turns_stepped_.load(std::memory_order_relaxed);
+  out.kernel_compilations = cache_->compilations();
+  out.kernel_lookups = cache_->lookups();
+  return out;
+}
+
+std::string SessionRuntime::prometheus_text() {
+  const RuntimeStats st = stats();
+  std::string out;
+  out.reserve(1024);
+  char line[192];
+  const auto emit = [&](const char* name, const char* type, double value) {
+    std::snprintf(line, sizeof(line), "# TYPE %s %s\n%s %.17g\n", name, type,
+                  name, value);
+    out += line;
+  };
+  emit("citl_serve_sessions_active", "gauge",
+       static_cast<double>(st.active_sessions));
+  emit("citl_serve_sessions_created_total", "counter",
+       static_cast<double>(st.sessions_created));
+  emit("citl_serve_sessions_destroyed_total", "counter",
+       static_cast<double>(st.sessions_destroyed));
+  emit("citl_serve_admission_rejected_total", "counter",
+       static_cast<double>(st.admission_rejections));
+  emit("citl_serve_step_requests_total", "counter",
+       static_cast<double>(st.step_requests));
+  emit("citl_serve_turns_total", "counter",
+       static_cast<double>(st.turns_stepped));
+  emit("citl_serve_kernel_compilations_total", "counter",
+       static_cast<double>(st.kernel_compilations));
+  emit("citl_serve_occupancy_admitted", "gauge", st.occupancy_admitted);
+
+  // Per-session gauges, one labelled series per live session.
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    live.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) live.push_back(s);
+  }
+  out += "# TYPE citl_serve_session_occupancy gauge\n";
+  for (const auto& s : live) {
+    std::snprintf(line, sizeof(line),
+                  "citl_serve_session_occupancy{session=\"%u\"} %.17g\n",
+                  s->id, occupancy_estimate(*s));
+    out += line;
+  }
+  out += "# TYPE citl_serve_session_turn gauge\n";
+  for (const auto& s : live) {
+    std::snprintf(line, sizeof(line),
+                  "citl_serve_session_turn{session=\"%u\"} %lld\n", s->id,
+                  static_cast<long long>(
+                      s->turn.load(std::memory_order_relaxed)));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace citl::serve

@@ -1,0 +1,171 @@
+// SessionRuntime: a multi-tenant pool of HIL engine instances.
+//
+// Each session is one turn-level closed loop (hil::TurnLoop — optionally
+// supervised) created from an api::SessionConfig. The runtime owns what the
+// engines cannot do for themselves in a multi-tenant world:
+//
+//   * shared kernel compilation — every create() resolves its compiled
+//     kernel through a sweep::KernelCache, so a hundred sessions at the
+//     same operating point pay for one parse→lower→schedule run;
+//   * admission control — a new session is refused (kAdmissionRejected)
+//     when the session cap is reached or when the pool's aggregate CGRA
+//     occupancy would exceed the configured budget. A session's occupancy
+//     starts as the static estimate schedule_length/budget_cycles and is
+//     replaced by its DeadlineProfiler's observed p99 once it has stepped —
+//     the same headroom percentile the sweep reports (docs/SERVING.md);
+//   * deadline-aware scheduling — concurrent step() calls pass a gate that
+//     admits at most `max_concurrent_steps` steppers, least-headroom-first:
+//     when slots are contended, the session closest to its real-time budget
+//     runs before comfortable ones, bounding worst-case turn latency skew;
+//   * snapshot/restore — server-side TurnLoop::Checkpoint images by id
+//     (fault-free, unsupervised sessions only: injector/supervisor state is
+//     not part of the checkpoint image, so those report kUnsupported).
+//
+// Determinism: the runtime adds no nondeterminism to a session. Stepping is
+// serialised per session (one mutex per session), the engine never migrates
+// threads' state, and the gate only orders *when* a step runs, never what
+// it computes — N concurrent sessions are each bit-identical to their
+// serial replay (pinned by the ServeRuntime tests).
+//
+// Every public operation reports failures as citl::Error subclasses with a
+// typed ErrorCode; the server maps them 1:1 onto wire status codes, so a
+// remote client sees exactly what an in-process caller catches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "hil/turnloop.hpp"
+#include "sweep/kernel_cache.hpp"
+
+namespace citl::serve {
+
+struct RuntimeConfig {
+  /// Hard cap on concurrently live sessions.
+  std::size_t max_sessions = 64;
+  /// Aggregate CGRA occupancy budget across admitted sessions (sum of
+  /// per-session occupancy estimates; 1.0 ≙ one fully-loaded CGRA). The
+  /// default models an 8-overlay deployment at ~90% utilisation.
+  double occupancy_budget = 7.2;
+  /// Step-gate width: how many sessions may execute turns at once.
+  /// 0 = hardware_concurrency.
+  unsigned max_concurrent_steps = 0;
+  /// Largest single step() request, bounding response frames (kOutOfRange
+  /// beyond it).
+  std::uint32_t max_turns_per_step = 1u << 16;
+  /// Checkpoint images retained per session (kOutOfRange beyond it).
+  std::size_t max_snapshots_per_session = 16;
+  /// Kernel cache to compile through; nullptr = runtime-private cache.
+  sweep::KernelCache* cache = nullptr;
+};
+
+/// Point-in-time aggregate counters (monotonic except active/occupancy).
+struct RuntimeStats {
+  std::size_t active_sessions = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_destroyed = 0;
+  std::uint64_t admission_rejections = 0;
+  std::uint64_t step_requests = 0;
+  std::uint64_t turns_stepped = 0;
+  std::size_t kernel_compilations = 0;
+  std::size_t kernel_lookups = 0;
+  /// Current aggregate occupancy estimate of admitted sessions.
+  double occupancy_admitted = 0.0;
+};
+
+/// Public view of one session.
+struct SessionInfo {
+  std::uint32_t id = 0;
+  unsigned schedule_length = 0;   ///< CGRA cycles per kernel iteration
+  double budget_cycles = 0.0;     ///< per-revolution deadline budget
+  double occupancy_estimate = 0.0;  ///< static or observed-p99 (see header)
+  std::int64_t turn = 0;
+  double time_s = 0.0;
+  std::int64_t realtime_violations = 0;
+  bool supervised = false;
+  bool aborted = false;
+};
+
+class SessionRuntime {
+ public:
+  explicit SessionRuntime(RuntimeConfig config = {});
+  ~SessionRuntime();
+
+  SessionRuntime(const SessionRuntime&) = delete;
+  SessionRuntime& operator=(const SessionRuntime&) = delete;
+
+  /// Admits and constructs a session. Throws ConfigError{kAdmissionRejected}
+  /// when the pool is full (by count or occupancy budget), or whatever
+  /// api::to_turnloop_config / kernel compilation raises for a bad config.
+  std::uint32_t create(const api::SessionConfig& config);
+  /// Destroys a session (kNotFound if absent). Safe while other threads
+  /// operate on it: they finish against the detached instance.
+  void destroy(std::uint32_t id);
+
+  /// Runs `turns` revolutions and returns their records. Serialised per
+  /// session; passes the deadline-aware step gate. kOutOfRange when `turns`
+  /// exceeds max_turns_per_step; kBadState once a supervised session's
+  /// abort policy stopped the loop.
+  std::vector<hil::TurnRecord> step(std::uint32_t id, std::uint32_t turns);
+
+  // By-name kernel access (api facade semantics: kUnknownKey names the
+  // kernel and the offending key, kOutOfRange for a bad lane).
+  void set_param(std::uint32_t id, std::string_view name, double value);
+  [[nodiscard]] double param(std::uint32_t id, std::string_view name);
+  void set_state(std::uint32_t id, std::string_view name, double value);
+  [[nodiscard]] double state(std::uint32_t id, std::string_view name);
+
+  /// Opens/closes the phase control loop.
+  void enable_control(std::uint32_t id, bool on);
+
+  /// Captures a checkpoint image server-side; returns its id. kUnsupported
+  /// on supervised or faulted sessions (their state is not in the image).
+  std::uint32_t snapshot(std::uint32_t id);
+  /// Rolls the session back to a snapshot() image, bit-exactly.
+  void restore(std::uint32_t id, std::uint32_t snapshot_id);
+
+  [[nodiscard]] SessionInfo info(std::uint32_t id);
+  [[nodiscard]] RuntimeStats stats();
+  [[nodiscard]] const RuntimeConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Prometheus exposition of the runtime (aggregate `citl_serve_*` series
+  /// plus per-session occupancy/turn gauges) — register as a ScrapeServer
+  /// collector to surface sessions on the /metrics endpoint.
+  [[nodiscard]] std::string prometheus_text();
+
+ private:
+  struct Session;
+  class StepGate;
+
+  [[nodiscard]] std::shared_ptr<Session> find(std::uint32_t id);
+  /// Current occupancy estimate of one session (static until it stepped).
+  [[nodiscard]] static double occupancy_estimate(const Session& s);
+  /// Sum of estimates over live sessions. Caller holds sessions_mutex_.
+  [[nodiscard]] double aggregate_occupancy_locked();
+
+  RuntimeConfig config_;
+  sweep::KernelCache own_cache_;
+  sweep::KernelCache* cache_;
+
+  std::mutex sessions_mutex_;
+  std::map<std::uint32_t, std::shared_ptr<Session>> sessions_;
+  std::uint32_t next_id_ = 1;
+
+  std::unique_ptr<StepGate> gate_;
+
+  std::atomic<std::uint64_t> sessions_created_{0};
+  std::atomic<std::uint64_t> sessions_destroyed_{0};
+  std::atomic<std::uint64_t> admission_rejections_{0};
+  std::atomic<std::uint64_t> step_requests_{0};
+  std::atomic<std::uint64_t> turns_stepped_{0};
+};
+
+}  // namespace citl::serve

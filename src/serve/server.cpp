@@ -1,0 +1,547 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace citl::serve {
+
+namespace {
+
+/// One client connection. Sockets are only ever read/written by the event
+/// loop thread; workers reach a connection exclusively through its outbox
+/// (mutex-guarded) and the loop's eventfd, so the fd lifecycle stays
+/// single-threaded. shared_ptr keeps a connection alive for workers that
+/// are still producing a response after the peer hung up.
+struct Connection {
+  explicit Connection(int fd_) : fd(fd_) {}
+  const int fd;
+  FrameParser parser;
+
+  std::mutex out_mutex;
+  std::vector<std::uint8_t> outbox;   ///< encoded, not yet written
+  std::size_t out_written = 0;        ///< prefix of outbox already sent
+  bool close_after_flush = false;     ///< set after a framing error
+  bool dead = false;                  ///< loop removed the fd already
+};
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+struct SessionServer::Impl {
+  explicit Impl(ServerConfig cfg)
+      : config(cfg), runtime(cfg.runtime) {}
+
+  ServerConfig config;
+  SessionRuntime runtime;
+
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::uint16_t port = 0;
+
+  std::thread loop_thread;
+  std::vector<std::thread> workers;
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::function<void()>> queue;
+
+  // Owned by the loop thread exclusively.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+
+  // Connections with response bytes queued by a worker, to be flushed by
+  // the loop on the next eventfd wake.
+  std::mutex pending_mutex;
+  std::vector<std::shared_ptr<Connection>> pending;
+
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> bad_frames{0};
+
+  void event_loop();
+  void accept_ready();
+  void read_ready(const std::shared_ptr<Connection>& conn);
+  void flush(const std::shared_ptr<Connection>& conn);
+  void close_conn(const std::shared_ptr<Connection>& conn);
+  void update_epoll_interest(const Connection& conn, bool want_write);
+  void handle_frame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void enqueue_response(const std::shared_ptr<Connection>& conn,
+                        const Frame& resp, bool from_loop);
+  void wake_loop();
+  [[nodiscard]] Frame execute(const Frame& req);
+  void worker_main();
+};
+
+SessionServer::SessionServer(ServerConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+SessionServer::~SessionServer() { stop(); }
+
+bool SessionServer::running() const noexcept {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+std::uint16_t SessionServer::port() const noexcept { return impl_->port; }
+
+SessionRuntime& SessionServer::runtime() noexcept { return impl_->runtime; }
+
+void SessionServer::start() {
+  Impl& s = *impl_;
+  if (s.running.load(std::memory_order_acquire)) return;
+
+  s.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (s.listen_fd < 0) {
+    throw ConfigError("session server: socket() failed: " +
+                      std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(s.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(s.config.port);
+  if (::bind(s.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(s.listen_fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+    throw ConfigError("session server: cannot listen on port " +
+                      std::to_string(s.config.port) + ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(s.listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  s.port = ntohs(addr.sin_port);
+  set_nonblocking(s.listen_fd);
+
+  s.epoll_fd = ::epoll_create1(0);
+  s.wake_fd = ::eventfd(0, EFD_NONBLOCK);
+  if (s.epoll_fd < 0 || s.wake_fd < 0) {
+    if (s.epoll_fd >= 0) ::close(s.epoll_fd);
+    if (s.wake_fd >= 0) ::close(s.wake_fd);
+    ::close(s.listen_fd);
+    s.listen_fd = s.epoll_fd = s.wake_fd = -1;
+    throw ConfigError("session server: epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = s.listen_fd;
+  ::epoll_ctl(s.epoll_fd, EPOLL_CTL_ADD, s.listen_fd, &ev);
+  ev.data.fd = s.wake_fd;
+  ::epoll_ctl(s.epoll_fd, EPOLL_CTL_ADD, s.wake_fd, &ev);
+
+  s.stopping.store(false, std::memory_order_release);
+  s.running.store(true, std::memory_order_release);
+
+  unsigned workers = s.config.workers;
+  if (workers == 0) {
+    workers = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  }
+  s.workers.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    s.workers.emplace_back([&s] { s.worker_main(); });
+  }
+  s.loop_thread = std::thread([&s] { s.event_loop(); });
+}
+
+void SessionServer::stop() {
+  Impl& s = *impl_;
+  if (!s.running.load(std::memory_order_acquire)) return;
+  s.stopping.store(true, std::memory_order_release);
+  s.queue_cv.notify_all();
+  for (auto& w : s.workers) w.join();
+  s.workers.clear();
+  {
+    std::lock_guard<std::mutex> lk(s.queue_mutex);
+    s.queue.clear();
+  }
+  s.wake_loop();
+  s.loop_thread.join();
+  ::close(s.listen_fd);
+  ::close(s.epoll_fd);
+  ::close(s.wake_fd);
+  s.listen_fd = s.epoll_fd = s.wake_fd = -1;
+  s.port = 0;
+  {
+    std::lock_guard<std::mutex> lk(s.pending_mutex);
+    s.pending.clear();
+  }
+  s.running.store(false, std::memory_order_release);
+}
+
+void SessionServer::Impl::wake_loop() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof(one));
+}
+
+void SessionServer::Impl::event_loop() {
+  constexpr int kMaxEvents = 32;
+  epoll_event events[kMaxEvents];
+  while (!stopping.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd) {
+        accept_ready();
+        continue;
+      }
+      if (fd == wake_fd) {
+        std::uint64_t drained;
+        while (::read(wake_fd, &drained, sizeof(drained)) > 0) {
+        }
+        std::vector<std::shared_ptr<Connection>> to_flush;
+        {
+          std::lock_guard<std::mutex> lk(pending_mutex);
+          to_flush.swap(pending);
+        }
+        for (const auto& conn : to_flush) {
+          if (!conn->dead) flush(conn);
+        }
+        continue;
+      }
+      auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      auto conn = it->second;  // keep alive across close_conn
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) read_ready(conn);
+      if (!conn->dead && (events[i].events & EPOLLOUT)) flush(conn);
+    }
+  }
+  // Shutdown: drop every connection.
+  for (auto& [fd, conn] : conns) {
+    conn->dead = true;
+    ::close(conn->fd);
+  }
+  conns.clear();
+}
+
+void SessionServer::Impl::accept_ready() {
+  for (;;) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) return;  // EAGAIN or error: either way, done for now
+    set_nonblocking(client);
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(client);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = client;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, client, &ev);
+    conns.emplace(client, std::move(conn));
+    connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SessionServer::Impl::read_ready(const std::shared_ptr<Connection>& conn) {
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      try {
+        conn->parser.feed(buf, static_cast<std::size_t>(n));
+        while (auto frame = conn->parser.next()) {
+          frames_received.fetch_add(1, std::memory_order_relaxed);
+          handle_frame(conn, std::move(*frame));
+          if (conn->dead) return;
+        }
+      } catch (const Error& e) {
+        // Framing error: best-effort typed error response, then close (the
+        // stream offset can no longer be trusted).
+        bad_frames.fetch_add(1, std::memory_order_relaxed);
+        Frame err;
+        err.status = e.code();
+        WireWriter w;
+        w.str(e.what());
+        err.payload = w.take();
+        {
+          std::lock_guard<std::mutex> lk(conn->out_mutex);
+          conn->close_after_flush = true;
+        }
+        enqueue_response(conn, err, /*from_loop=*/true);
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // EOF or hard error.
+    close_conn(conn);
+    return;
+  }
+}
+
+void SessionServer::Impl::update_epoll_interest(const Connection& conn,
+                                                bool want_write) {
+  epoll_event ev{};
+  ev.events = want_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void SessionServer::Impl::flush(const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  bool want_write = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mutex);
+    while (conn->out_written < conn->outbox.size()) {
+      const ssize_t n =
+          ::write(conn->fd, conn->outbox.data() + conn->out_written,
+                  conn->outbox.size() - conn->out_written);
+      if (n > 0) {
+        conn->out_written += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        want_write = true;
+        break;
+      }
+      close_now = true;  // peer gone
+      break;
+    }
+    if (conn->out_written == conn->outbox.size()) {
+      conn->outbox.clear();
+      conn->out_written = 0;
+      if (conn->close_after_flush) close_now = true;
+    }
+  }
+  if (close_now) {
+    close_conn(conn);
+    return;
+  }
+  update_epoll_interest(*conn, want_write);
+}
+
+void SessionServer::Impl::close_conn(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns.erase(conn->fd);
+  connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SessionServer::Impl::enqueue_response(
+    const std::shared_ptr<Connection>& conn, const Frame& resp,
+    bool from_loop) {
+  const std::vector<std::uint8_t> bytes = encode_frame(resp);
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mutex);
+    conn->outbox.insert(conn->outbox.end(), bytes.begin(), bytes.end());
+  }
+  frames_sent.fetch_add(1, std::memory_order_relaxed);
+  if (from_loop) {
+    if (!conn->dead) flush(conn);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(pending_mutex);
+      pending.push_back(conn);
+    }
+    wake_loop();
+  }
+}
+
+Frame SessionServer::Impl::execute(const Frame& req) {
+  Frame resp;
+  resp.opcode = req.opcode;
+  resp.request_id = req.request_id;
+  resp.session_id = req.session_id;
+  try {
+    WireReader r(req.payload);
+    WireWriter w;
+    switch (req.opcode) {
+      case Opcode::kHello: {
+        r.expect_end();
+        w.str("citl-wire-v1");
+        break;
+      }
+      case Opcode::kCreateSession: {
+        const api::SessionConfig session_config = decode_session_config(r);
+        r.expect_end();
+        const std::uint32_t id = runtime.create(session_config);
+        resp.session_id = id;
+        const SessionInfo info = runtime.info(id);
+        w.u32(info.schedule_length);
+        w.f64(info.budget_cycles);
+        w.f64(info.occupancy_estimate);
+        break;
+      }
+      case Opcode::kSetParam: {
+        const std::string name = r.str();
+        const double value = r.f64();
+        r.expect_end();
+        runtime.set_param(req.session_id, name, value);
+        break;
+      }
+      case Opcode::kGetParam: {
+        const std::string name = r.str();
+        r.expect_end();
+        w.f64(runtime.param(req.session_id, name));
+        break;
+      }
+      case Opcode::kSetState: {
+        const std::string name = r.str();
+        const double value = r.f64();
+        r.expect_end();
+        runtime.set_state(req.session_id, name, value);
+        break;
+      }
+      case Opcode::kGetState: {
+        const std::string name = r.str();
+        r.expect_end();
+        w.f64(runtime.state(req.session_id, name));
+        break;
+      }
+      case Opcode::kEnableControl: {
+        const bool on = r.u8() != 0;
+        r.expect_end();
+        runtime.enable_control(req.session_id, on);
+        break;
+      }
+      case Opcode::kStep: {
+        const std::uint32_t turns = r.u32();
+        r.expect_end();
+        const std::vector<hil::TurnRecord> records =
+            runtime.step(req.session_id, turns);
+        w.u32(static_cast<std::uint32_t>(records.size()));
+        for (const auto& rec : records) encode_turn_record(w, rec);
+        break;
+      }
+      case Opcode::kSnapshot: {
+        r.expect_end();
+        w.u32(runtime.snapshot(req.session_id));
+        break;
+      }
+      case Opcode::kRestore: {
+        const std::uint32_t snap = r.u32();
+        r.expect_end();
+        runtime.restore(req.session_id, snap);
+        break;
+      }
+      case Opcode::kDestroySession: {
+        r.expect_end();
+        runtime.destroy(req.session_id);
+        break;
+      }
+      case Opcode::kStats: {
+        r.expect_end();
+        const RuntimeStats st = runtime.stats();
+        w.u32(static_cast<std::uint32_t>(st.active_sessions));
+        w.u64(st.sessions_created);
+        w.u64(st.admission_rejections);
+        w.u64(st.step_requests);
+        w.u64(st.turns_stepped);
+        w.f64(st.occupancy_admitted);
+        break;
+      }
+      default:
+        throw Error("unknown opcode " +
+                        std::to_string(static_cast<int>(req.opcode)),
+                    ErrorCode::kBadFrame);
+    }
+    resp.status = ErrorCode::kOk;
+    resp.payload = w.take();
+  } catch (const Error& e) {
+    resp.status = e.code();
+    WireWriter w;
+    w.str(e.what());
+    resp.payload = w.take();
+  } catch (const std::exception& e) {
+    resp.status = ErrorCode::kInternal;
+    WireWriter w;
+    w.str(e.what());
+    resp.payload = w.take();
+  }
+  return resp;
+}
+
+void SessionServer::Impl::handle_frame(const std::shared_ptr<Connection>& conn,
+                                       Frame frame) {
+  if (frame.opcode == Opcode::kStep) {
+    // The only request whose cost scales with its argument: run it on a
+    // worker so a long step cannot stall other clients' round trips.
+    auto task = [this, conn, frame = std::move(frame)]() {
+      enqueue_response(conn, execute(frame), /*from_loop=*/false);
+    };
+    {
+      std::lock_guard<std::mutex> lk(queue_mutex);
+      queue.push_back(std::move(task));
+    }
+    queue_cv.notify_one();
+    return;
+  }
+  enqueue_response(conn, execute(frame), /*from_loop=*/true);
+}
+
+void SessionServer::Impl::worker_main() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(queue_mutex);
+      queue_cv.wait(lk, [&] {
+        return stopping.load(std::memory_order_acquire) || !queue.empty();
+      });
+      if (stopping.load(std::memory_order_acquire)) return;
+      task = std::move(queue.front());
+      queue.pop_front();
+    }
+    task();
+  }
+}
+
+std::string SessionServer::prometheus_text() {
+  Impl& s = *impl_;
+  std::string out;
+  char line[160];
+  const auto emit = [&](const char* name, const char* type,
+                        std::uint64_t value) {
+    std::snprintf(line, sizeof(line), "# TYPE %s %s\n%s %llu\n", name, type,
+                  name, static_cast<unsigned long long>(value));
+    out += line;
+  };
+  emit("citl_serve_connections_accepted_total", "counter",
+       s.connections_accepted.load(std::memory_order_relaxed));
+  emit("citl_serve_connections_closed_total", "counter",
+       s.connections_closed.load(std::memory_order_relaxed));
+  emit("citl_serve_frames_received_total", "counter",
+       s.frames_received.load(std::memory_order_relaxed));
+  emit("citl_serve_frames_sent_total", "counter",
+       s.frames_sent.load(std::memory_order_relaxed));
+  emit("citl_serve_bad_frames_total", "counter",
+       s.bad_frames.load(std::memory_order_relaxed));
+  out += s.runtime.prometheus_text();
+  return out;
+}
+
+}  // namespace citl::serve

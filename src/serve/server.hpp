@@ -1,0 +1,72 @@
+// SessionServer: the citl-wire-v1 endpoint in front of a SessionRuntime.
+//
+// One epoll event-loop thread owns every socket: it accepts connections on
+// a loopback listener, splits the inbound byte stream into frames
+// (serve::FrameParser), executes cheap operations inline, and hands kStep
+// requests — the only operation whose cost scales with its argument — to a
+// small worker pool so one client stepping 65k turns cannot stall another
+// client's create/get/stats round trip. Workers never touch sockets: they
+// append the encoded response to the connection's outbox and ring the event
+// loop's eventfd; all reads and writes happen on the loop thread, which
+// keeps the socket lifecycle single-threaded (the same discipline as
+// obs::ScrapeServer, grown an event loop).
+//
+// Error handling mirrors the library exactly: a handler failure is caught,
+// classified by its citl::ErrorCode, and returned as a response frame whose
+// status carries that code and whose payload is the exception message. A
+// malformed frame (bad version, bad length, truncated payload) earns a
+// kBadFrame response on a best-effort basis and the connection is closed —
+// after a framing error the stream offset can no longer be trusted.
+//
+// Loopback only, by design: like the scrape endpoint, nothing binds a
+// non-local interface. Remote deployment goes through a fronting proxy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/runtime.hpp"
+
+namespace citl::serve {
+
+struct ServerConfig {
+  /// Port to bind on 127.0.0.1 (0 = kernel-assigned ephemeral port).
+  std::uint16_t port = 0;
+  /// Worker threads executing kStep requests. 0 = min(4, hardware).
+  unsigned workers = 0;
+  RuntimeConfig runtime;
+};
+
+class SessionServer {
+ public:
+  explicit SessionServer(ServerConfig config = {});
+  ~SessionServer();
+
+  SessionServer(const SessionServer&) = delete;
+  SessionServer& operator=(const SessionServer&) = delete;
+
+  /// Binds the listener and starts the event loop + workers. Throws
+  /// ConfigError if the port cannot be bound.
+  void start();
+  /// Drains workers, closes every connection, joins the loop. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+  /// Bound port (useful after start with port 0); 0 when not running.
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// The runtime behind the endpoint — in-process callers (tests, the
+  /// metrics collector) share it with wire clients.
+  [[nodiscard]] SessionRuntime& runtime() noexcept;
+
+  /// Prometheus text for the endpoint itself (`citl_serve_connections_*`,
+  /// frame/byte counters) plus the runtime's session series — register as a
+  /// ScrapeServer collector.
+  [[nodiscard]] std::string prometheus_text();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace citl::serve

@@ -1,0 +1,259 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+
+namespace citl::serve {
+
+const char* opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kHello: return "hello";
+    case Opcode::kCreateSession: return "create_session";
+    case Opcode::kSetParam: return "set_param";
+    case Opcode::kGetParam: return "get_param";
+    case Opcode::kSetState: return "set_state";
+    case Opcode::kGetState: return "get_state";
+    case Opcode::kEnableControl: return "enable_control";
+    case Opcode::kStep: return "step";
+    case Opcode::kSnapshot: return "snapshot";
+    case Opcode::kRestore: return "restore";
+    case Opcode::kDestroySession: return "destroy_session";
+    case Opcode::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+[[nodiscard]] std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[noreturn]] void throw_bad_frame(const std::string& what) {
+  throw Error("citl-wire-v1: " + what, ErrorCode::kBadFrame);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  const std::size_t body = kHeaderBytes + frame.payload.size();
+  if (body > kMaxFrameBytes) {
+    throw_bad_frame("frame payload exceeds kMaxFrameBytes (" +
+                    std::to_string(frame.payload.size()) + " bytes)");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + body);
+  append_u32(out, static_cast<std::uint32_t>(body));
+  out.push_back(frame.version);
+  out.push_back(static_cast<std::uint8_t>(frame.opcode));
+  const auto status = static_cast<std::uint16_t>(frame.status);
+  out.push_back(static_cast<std::uint8_t>(status));
+  out.push_back(static_cast<std::uint8_t>(status >> 8));
+  append_u32(out, frame.request_id);
+  append_u32(out, frame.session_id);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t len) {
+  // Compact lazily: drop fully-consumed prefix before growing the buffer.
+  if (consumed_ > 0 && consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+std::optional<Frame> FrameParser::next() {
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  const std::uint8_t* p = buf_.data() + consumed_;
+  const std::uint32_t body = read_u32(p);
+  if (body < kHeaderBytes) {
+    throw_bad_frame("length prefix " + std::to_string(body) +
+                    " is shorter than the 12-byte header");
+  }
+  if (body > kMaxFrameBytes) {
+    throw_bad_frame("length prefix " + std::to_string(body) +
+                    " exceeds kMaxFrameBytes");
+  }
+  if (avail < 4 + static_cast<std::size_t>(body)) return std::nullopt;
+  Frame f;
+  f.version = p[4];
+  if (f.version != kWireVersion) {
+    throw_bad_frame("unsupported protocol version " +
+                    std::to_string(static_cast<int>(f.version)));
+  }
+  f.opcode = static_cast<Opcode>(p[5]);
+  f.status = static_cast<ErrorCode>(static_cast<std::uint16_t>(p[6]) |
+                                    (static_cast<std::uint16_t>(p[7]) << 8));
+  f.request_id = read_u32(p + 8);
+  f.session_id = read_u32(p + 12);
+  f.payload.assign(p + 4 + kHeaderBytes, p + 4 + body);
+  consumed_ += 4 + static_cast<std::size_t>(body);
+  return f;
+}
+
+void WireWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) { append_u32(buf_, v); }
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireReader::need(std::size_t n) const {
+  if (len_ - pos_ < n) {
+    throw_bad_frame("truncated payload: need " + std::to_string(n) +
+                    " byte(s) at offset " + std::to_string(pos_) + " of " +
+                    std::to_string(len_));
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  need(2);
+  const auto v = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(data_[pos_]) |
+      (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  const std::uint32_t v = read_u32(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void WireReader::expect_end() const {
+  if (pos_ != len_) {
+    throw_bad_frame("payload has " + std::to_string(len_ - pos_) +
+                    " trailing byte(s)");
+  }
+}
+
+void encode_session_config(WireWriter& w, const api::SessionConfig& config) {
+  w.f64(config.f_ref_hz);
+  w.u32(static_cast<std::uint32_t>(config.harmonic));
+  w.f64(config.f_sync_hz);
+  w.f64(config.gap_voltage_v);
+  w.f64(config.jump_amplitude_deg);
+  w.f64(config.jump_start_s);
+  w.f64(config.jump_interval_s);
+  w.f64(config.gain);
+  w.u8(config.control_enabled ? 1 : 0);
+  w.u8(config.pipelined ? 1 : 0);
+  w.u8(config.cycle_accurate ? 1 : 0);
+  w.u8(config.synthesize_waveform ? 1 : 0);
+  w.u8(config.quantise_period ? 1 : 0);
+  w.f64(config.phase_noise_rad);
+  w.u64(config.noise_seed);
+  w.u8(config.supervised ? 1 : 0);
+}
+
+api::SessionConfig decode_session_config(WireReader& r) {
+  api::SessionConfig config;
+  config.f_ref_hz = r.f64();
+  config.harmonic = static_cast<int>(r.u32());
+  config.f_sync_hz = r.f64();
+  config.gap_voltage_v = r.f64();
+  config.jump_amplitude_deg = r.f64();
+  config.jump_start_s = r.f64();
+  config.jump_interval_s = r.f64();
+  config.gain = r.f64();
+  config.control_enabled = r.u8() != 0;
+  config.pipelined = r.u8() != 0;
+  config.cycle_accurate = r.u8() != 0;
+  config.synthesize_waveform = r.u8() != 0;
+  config.quantise_period = r.u8() != 0;
+  config.phase_noise_rad = r.f64();
+  config.noise_seed = r.u64();
+  config.supervised = r.u8() != 0;
+  return config;
+}
+
+void encode_turn_record(WireWriter& w, const hil::TurnRecord& rec) {
+  w.f64(rec.time_s);
+  w.f64(rec.phase_rad);
+  w.f64(rec.dt_s);
+  w.f64(rec.dgamma);
+  w.f64(rec.correction_hz);
+  w.f64(rec.gap_phase_rad);
+}
+
+hil::TurnRecord decode_turn_record(WireReader& r) {
+  hil::TurnRecord rec;
+  rec.time_s = r.f64();
+  rec.phase_rad = r.f64();
+  rec.dt_s = r.f64();
+  rec.dgamma = r.f64();
+  rec.correction_hz = r.f64();
+  rec.gap_phase_rad = r.f64();
+  return rec;
+}
+
+}  // namespace citl::serve

@@ -564,7 +564,7 @@ SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool) {
       throw ConfigError("sweep: scenario '" + scenario.name +
                         "' enables the differential oracle on a "
                         "sample-accurate engine; the oracle's fidelities are "
-                        "all turn-granular");
+                        "all turn-granular", ErrorCode::kUnsupported);
     }
   }
 

@@ -6,6 +6,7 @@
 
 #include "cgra/kernels.hpp"
 #include "cgra/lower.hpp"
+#include "api/api.hpp"
 #include "cgra/machine.hpp"
 #include "cgra/schedule.hpp"
 #include "core/error.hpp"
@@ -77,7 +78,9 @@ TEST_P(ArchFuzz, BeamKernelSchedulesCleanlyOnRandomArchitectures) {
     mc.run_iteration_cycle_accurate();
   }
   for (const auto& s : dfg.states()) {
-    EXPECT_DOUBLE_EQ(mf.state(s.name), mc.state(s.name)) << s.name;
+    EXPECT_DOUBLE_EQ(api::kernel_state(mf, s.name),
+                     api::kernel_state(mc, s.name))
+        << s.name;
   }
 }
 

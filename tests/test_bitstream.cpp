@@ -6,6 +6,7 @@
 
 #include "cgra/bitstream.hpp"
 #include "cgra/kernels.hpp"
+#include "api/api.hpp"
 #include "cgra/machine.hpp"
 #include "cgra/schedule.hpp"
 #include "core/error.hpp"
@@ -78,7 +79,9 @@ TEST(Bitstream, LoadedKernelExecutesIdentically) {
     mb.run_iteration_cycle_accurate();  // and across execution modes
   }
   for (const auto& s : original.dfg.states()) {
-    EXPECT_DOUBLE_EQ(ma.state(s.name), mb.state(s.name)) << s.name;
+    EXPECT_DOUBLE_EQ(api::kernel_state(ma, s.name),
+                     api::kernel_state(mb, s.name))
+        << s.name;
   }
   EXPECT_DOUBLE_EQ(ba.last, bb.last);
 }

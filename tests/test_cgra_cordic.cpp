@@ -7,6 +7,7 @@
 #include "cgra/kernels.hpp"
 #include "cgra/lower.hpp"
 #include "cgra/machine.hpp"
+#include "api/api.hpp"
 #include "cgra/schedule.hpp"
 #include "core/error.hpp"
 #include "core/units.hpp"
@@ -27,9 +28,9 @@ double run_trig(const char* fn, double angle, Precision precision) {
   const CompiledKernel k = compile_kernel(src, arch);
   NullSensorBus bus;
   CgraMachine m(k, bus, precision);
-  m.set_param("a", angle);
+  api::set_kernel_param(m, "a", angle);
   m.run_iteration();
-  return m.state("out");
+  return api::kernel_state(m, "out");
 }
 
 TEST(Cordic, SineAccuracyAcrossRange) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "api/api.hpp"
 #include "cgra/machine.hpp"
 #include "cgra/schedule.hpp"
 #include "cgra/sensor.hpp"
@@ -182,12 +183,13 @@ TEST_P(CgraFuzz, FunctionalEqualsCycleAccurateAndStaysFinite) {
     mc.run_iteration_cycle_accurate();
     md.run_iteration();
     for (const auto& s : kernel.dfg.states()) {
-      const double vf = mf.state(s.name);
+      const double vf = api::kernel_state(mf, s.name);
       ASSERT_TRUE(std::isfinite(vf))
           << s.name << " diverged at iteration " << iter;
-      ASSERT_DOUBLE_EQ(vf, mc.state(s.name))
+      ASSERT_DOUBLE_EQ(vf, api::kernel_state(mc, s.name))
           << s.name << " functional/cycle-accurate mismatch at " << iter;
-      ASSERT_DOUBLE_EQ(vf, md.state(s.name)) << "nondeterminism at " << iter;
+      ASSERT_DOUBLE_EQ(vf, api::kernel_state(md, s.name))
+          << "nondeterminism at " << iter;
     }
   }
   EXPECT_DOUBLE_EQ(bus_f.checksum, bus_c.checksum);

@@ -6,6 +6,7 @@
 
 #include "cgra/kernels.hpp"
 #include "cgra/machine.hpp"
+#include "api/api.hpp"
 #include "cgra/schedule.hpp"
 #include "core/units.hpp"
 #include "phys/relativity.hpp"
@@ -138,9 +139,9 @@ TEST(BeamKernel, TracksLikeReferenceMapInFloat64) {
   }
   // Oscillation amplitude ~17 ns; agreement to sub-0.5 ns demonstrates the
   // sensing path (buffer addressing + interpolation) is faithful.
-  EXPECT_NEAR(m.state("dt0"), ref.dt_s(), 5e-10);
-  EXPECT_NEAR(m.state("dgamma0") / ref.dgamma(), 1.0, 0.03);
-  EXPECT_NEAR(m.state("gamma_r"), ref.gamma_r(), 1e-6);
+  EXPECT_NEAR(api::kernel_state(m, "dt0"), ref.dt_s(), 5e-10);
+  EXPECT_NEAR(api::kernel_state(m, "dgamma0") / ref.dgamma(), 1.0, 0.03);
+  EXPECT_NEAR(api::kernel_state(m, "gamma_r"), ref.gamma_r(), 1e-6);
 }
 
 TEST(BeamKernel, Float32PrecisionStaysUsable) {
@@ -163,7 +164,7 @@ TEST(BeamKernel, Float32PrecisionStaysUsable) {
     m64.run_iteration();
   }
   const double amp = deg_to_rad(8.0) / (kTwoPi * 4 * f_ref);  // rough scale
-  EXPECT_NEAR(m32.state("dt0"), m64.state("dt0"), 0.1 * amp);
+  EXPECT_NEAR(api::kernel_state(m32, "dt0"), api::kernel_state(m64, "dt0"), 0.1 * amp);
 }
 
 TEST(BeamKernel, MultiBunchBucketsAreIndependent) {
@@ -180,8 +181,8 @@ TEST(BeamKernel, MultiBunchBucketsAreIndependent) {
   CgraMachine m(k, bus, Precision::kFloat64);
   for (int i = 0; i < 500; ++i) m.run_iteration();
   for (int j = 1; j < 4; ++j) {
-    EXPECT_NEAR(m.state("dt" + std::to_string(j)), m.state("dt0"),
-                2e-2 * std::abs(m.state("dt0")) + 2e-12)
+    EXPECT_NEAR(api::kernel_state(m, "dt" + std::to_string(j)), api::kernel_state(m, "dt0"),
+                2e-2 * std::abs(api::kernel_state(m, "dt0")) + 2e-12)
         << "bunch " << j;
   }
 }
@@ -206,7 +207,7 @@ TEST(DemoOscillator, RunsAndDecays) {
   double first_amp = 0.0, last_amp = 0.0;
   for (int i = 0; i < 2000; ++i) {
     m.run_iteration();
-    const double amp = std::abs(m.state("x"));
+    const double amp = std::abs(api::kernel_state(m, "x"));
     if (i < 100) first_amp = std::max(first_amp, amp);
     if (i >= 1900) last_amp = std::max(last_amp, amp);
   }

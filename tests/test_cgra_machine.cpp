@@ -8,6 +8,7 @@
 
 #include "cgra/batch.hpp"
 #include "cgra/kernels.hpp"
+#include "api/api.hpp"
 #include "cgra/machine.hpp"
 #include "cgra/schedule.hpp"
 #include "core/error.hpp"
@@ -45,7 +46,7 @@ TEST(Machine, CountsToTen) {
   NullSensorBus bus;
   CgraMachine m(k, bus);
   for (int i = 0; i < 10; ++i) m.run_iteration();
-  EXPECT_DOUBLE_EQ(m.state("n"), 10.0);
+  EXPECT_DOUBLE_EQ(api::kernel_state(m, "n"), 10.0);
   EXPECT_EQ(m.iterations(), 10u);
 }
 
@@ -57,9 +58,9 @@ TEST(Machine, ResetRestoresInitialState) {
   NullSensorBus bus;
   CgraMachine m(k, bus);
   m.run_iteration();
-  EXPECT_DOUBLE_EQ(m.state("n"), 10.0);
+  EXPECT_DOUBLE_EQ(api::kernel_state(m, "n"), 10.0);
   m.reset();
-  EXPECT_DOUBLE_EQ(m.state("n"), 5.0);
+  EXPECT_DOUBLE_EQ(api::kernel_state(m, "n"), 5.0);
   EXPECT_EQ(m.iterations(), 0u);
 }
 
@@ -72,13 +73,13 @@ TEST(Machine, ParamsAreRuntimeSettable) {
   NullSensorBus bus;
   CgraMachine m(k, bus);
   m.run_iteration();
-  EXPECT_DOUBLE_EQ(m.state("y"), 2.0);
-  m.set_param("gain", 10.0);
-  EXPECT_DOUBLE_EQ(m.param("gain"), 10.0);
+  EXPECT_DOUBLE_EQ(api::kernel_state(m, "y"), 2.0);
+  api::set_kernel_param(m, "gain", 10.0);
+  EXPECT_DOUBLE_EQ(api::kernel_param(m, "gain"), 10.0);
   m.run_iteration();
-  EXPECT_DOUBLE_EQ(m.state("y"), 20.0);
-  EXPECT_THROW(m.set_param("nope", 0.0), ConfigError);
-  EXPECT_THROW(m.param("nope"), ConfigError);
+  EXPECT_DOUBLE_EQ(api::kernel_state(m, "y"), 20.0);
+  EXPECT_THROW(api::set_kernel_param(m, "nope", 0.0), ConfigError);
+  EXPECT_THROW(api::kernel_param(m, "nope"), ConfigError);
 }
 
 TEST(Machine, StateOverride) {
@@ -88,12 +89,17 @@ TEST(Machine, StateOverride) {
       grid_3x3());
   NullSensorBus bus;
   CgraMachine m(k, bus);
-  m.set_state("x", 100.0);
+  api::set_kernel_state(m, "x", 100.0);
   m.run_iteration();
-  EXPECT_DOUBLE_EQ(m.state("x"), 101.0);
-  EXPECT_THROW(m.set_state("nope", 0.0), ConfigError);
+  EXPECT_DOUBLE_EQ(api::kernel_state(m, "x"), 101.0);
+  EXPECT_THROW(api::set_kernel_state(m, "nope", 0.0), ConfigError);
 }
 
+// This test exercises the deprecated string-keyed wrappers on purpose:
+// it pins that they still report byte-identical errors to the handle path
+// until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(Machine, StringAndHandleApisReportIdenticalErrors) {
   // The deprecated string-keyed wrappers resolve through param_handle /
   // state_handle, so an unknown key must produce byte-identical ConfigError
@@ -136,6 +142,7 @@ TEST(Machine, StringAndHandleApisReportIdenticalErrors) {
   EXPECT_EQ(message_of([&] { (void)m.param(good, 1); }),
             message_of([&] { (void)batch.param(good, 1); }));
 }
+#pragma GCC diagnostic pop
 
 TEST(Machine, ArithmeticOperators) {
   const CompiledKernel k = compile_kernel(
@@ -155,7 +162,7 @@ TEST(Machine, ArithmeticOperators) {
   NullSensorBus bus;
   CgraMachine m(k, bus);
   m.run_iteration();
-  EXPECT_DOUBLE_EQ(m.state("s"), 7.0);
+  EXPECT_DOUBLE_EQ(api::kernel_state(m, "s"), 7.0);
 }
 
 TEST(Machine, SensorReadsAndWritesDecodeRegions) {
@@ -177,7 +184,7 @@ TEST(Machine, SensorReadsAndWritesDecodeRegions) {
   EXPECT_EQ(bus.writes[0].region, SensorRegion::kActuator);
   EXPECT_NEAR(bus.writes[0].offset, 0.0, 1e-9);
   EXPECT_NEAR(bus.writes[0].value, 1.25e-6 + 0.25 - 0.125, 1e-7);
-  EXPECT_NEAR(m.state("s"), 1.25e-6 + 0.25 - 0.125, 1e-7);
+  EXPECT_NEAR(api::kernel_state(m, "s"), 1.25e-6 + 0.25 - 0.125, 1e-7);
 }
 
 TEST(Machine, StoresExecuteInProgramOrder) {
@@ -216,8 +223,8 @@ TEST(Machine, Float32QuantisationApplied) {
   CgraMachine m64(k64, bus, Precision::kFloat64);
   m32.run_iteration();
   m64.run_iteration();
-  EXPECT_DOUBLE_EQ(m32.state("s"), 1.0);
-  EXPECT_GT(m64.state("s"), 1.0);
+  EXPECT_DOUBLE_EQ(api::kernel_state(m32, "s"), 1.0);
+  EXPECT_GT(api::kernel_state(m64, "s"), 1.0);
 }
 
 TEST(Machine, PipelinedKernelWarmupAndSteadyState) {
@@ -233,13 +240,13 @@ TEST(Machine, PipelinedKernelWarmupAndSteadyState) {
   NullSensorBus bus;
   CgraMachine m(k, bus);
   m.run_iteration();  // stage 1 sees the pipeline register's reset value
-  EXPECT_DOUBLE_EQ(m.state("y"), 0.0);
+  EXPECT_DOUBLE_EQ(api::kernel_state(m, "y"), 0.0);
   m.run_iteration();
   m.run_iteration();
   // Steady state: y_k = probe from iteration k-1 = 2 * n at start of k-1,
   // and n at start of iteration k-1 is n_now - 2.
-  const double n_now = m.state("n");
-  EXPECT_DOUBLE_EQ(m.state("y"), 2.0 * (n_now - 2.0));
+  const double n_now = api::kernel_state(m, "n");
+  EXPECT_DOUBLE_EQ(api::kernel_state(m, "y"), 2.0 * (n_now - 2.0));
 }
 
 TEST(Machine, CycleAccurateReturnsScheduleLength) {
@@ -292,7 +299,9 @@ TEST_P(ExecutionEquivalence, FunctionalEqualsCycleAccurate) {
     mc.run_iteration_cycle_accurate();
   }
   for (const auto& s : k.dfg.states()) {
-    EXPECT_DOUBLE_EQ(mf.state(s.name), mc.state(s.name)) << s.name;
+    EXPECT_DOUBLE_EQ(api::kernel_state(mf, s.name),
+                     api::kernel_state(mc, s.name))
+        << s.name;
   }
   EXPECT_DOUBLE_EQ(bus_f.sum, bus_c.sum);
 }

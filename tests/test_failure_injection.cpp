@@ -13,6 +13,7 @@
 #include "cgra/batch.hpp"
 #include "cgra/kernels.hpp"
 #include "cgra/machine.hpp"
+#include "api/api.hpp"
 #include "cgra/schedule.hpp"
 #include "core/units.hpp"
 #include "fault/fault.hpp"
@@ -119,8 +120,8 @@ TEST(FailureInjection, AbsurdPhaseJump) {
   fc.jumps = ctrl::PhaseJumpProgramme(deg_to_rad(120.0), 1.0, 1.0e-3);
   Framework fw(fc);
   run_and_expect_finite(fw, 8.0e-3);
-  EXPECT_TRUE(std::isfinite(fw.machine().state("dt0")));
-  EXPECT_TRUE(std::isfinite(fw.machine().state("dgamma0")));
+  EXPECT_TRUE(std::isfinite(api::kernel_state(fw.machine(), "dt0")));
+  EXPECT_TRUE(std::isfinite(api::kernel_state(fw.machine(), "dgamma0")));
 }
 
 TEST(FailureInjection, StarvedControllerStillStable) {

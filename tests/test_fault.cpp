@@ -16,6 +16,7 @@
 #include "core/units.hpp"
 #include "fault/fault.hpp"
 #include "fault/injector.hpp"
+#include "api/api.hpp"
 #include "hil/experiment.hpp"
 #include "hil/framework.hpp"
 #include "hil/supervisor.hpp"
@@ -629,8 +630,8 @@ TEST(FaultFramework, StateCorruptionRollsBack) {
   const hil::SupervisorStats& s = fw.supervisor()->stats();
   EXPECT_GE(s.rollbacks, 1);
   EXPECT_GE(s.faults_detected, 1);
-  EXPECT_TRUE(std::isfinite(fw.machine().state("dt0")));
-  EXPECT_LT(std::abs(fw.machine().state("dt0")), 1.0);
+  EXPECT_TRUE(std::isfinite(api::kernel_state(fw.machine(), "dt0")));
+  EXPECT_LT(std::abs(api::kernel_state(fw.machine(), "dt0")), 1.0);
 }
 
 // --- fault campaigns through the sweep engine ------------------------------

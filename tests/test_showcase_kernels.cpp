@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "cgra/machine.hpp"
+#include "api/api.hpp"
 #include "cgra/schedule.hpp"
 
 namespace citl::cgra {
@@ -52,13 +53,13 @@ TEST(ShowcaseKernels, LorenzStaysOnTheAttractor) {
   double max_x = 0.0, min_x = 0.0;
   for (int i = 0; i < 20'000; ++i) {
     m.run_iteration();
-    const double x = m.state("x");
+    const double x = api::kernel_state(m, "x");
     ASSERT_TRUE(std::isfinite(x)) << "iteration " << i;
     max_x = std::max(max_x, x);
     min_x = std::min(min_x, x);
     // The attractor is bounded: |x| < ~25 for these parameters.
     ASSERT_LT(std::abs(x), 40.0);
-    ASSERT_LT(std::abs(m.state("z")), 70.0);
+    ASSERT_LT(std::abs(api::kernel_state(m, "z")), 70.0);
   }
   // ...and chaotic: both lobes get visited.
   EXPECT_GT(max_x, 5.0);
@@ -73,8 +74,8 @@ TEST(ShowcaseKernels, LorenzFunctionalMatchesCycleAccurate) {
     a.run_iteration();
     b.run_iteration_cycle_accurate();
   }
-  EXPECT_DOUBLE_EQ(a.state("x"), b.state("x"));
-  EXPECT_DOUBLE_EQ(a.state("z"), b.state("z"));
+  EXPECT_DOUBLE_EQ(api::kernel_state(a, "x"), api::kernel_state(b, "x"));
+  EXPECT_DOUBLE_EQ(api::kernel_state(a, "z"), api::kernel_state(b, "z"));
 }
 
 TEST(ShowcaseKernels, PllTracksTheInputTone) {
@@ -84,11 +85,11 @@ TEST(ShowcaseKernels, PllTracksTheInputTone) {
   for (int i = 0; i < 3000; ++i) m.run_iteration();  // acquisition
   // Once locked, the NCO advances at the input rate: the phase difference
   // stays bounded over thousands of further cycles.
-  const double offset0 = m.state("theta") - m.state("theta_in");
+  const double offset0 = api::kernel_state(m, "theta") - api::kernel_state(m, "theta_in");
   double worst = 0.0;
   for (int i = 0; i < 3000; ++i) {
     m.run_iteration();
-    const double diff = m.state("theta") - m.state("theta_in");
+    const double diff = api::kernel_state(m, "theta") - api::kernel_state(m, "theta_in");
     ASSERT_TRUE(std::isfinite(diff));
     worst = std::max(worst, std::abs(diff - offset0));
   }

@@ -16,6 +16,7 @@
 #include "core/error.hpp"
 #include "core/units.hpp"
 #include "hil/framework.hpp"
+#include "api/api.hpp"
 #include "phys/relativity.hpp"
 #include "phys/synchrotron.hpp"
 #include "sweep/grid.hpp"
@@ -204,10 +205,10 @@ TEST(Sweep, SharedKernelHasNoMutableStateAliasing) {
   EXPECT_EQ(&shared_a.kernel(), &shared_b.kernel());
   EXPECT_NE(&shared_a.kernel(), &private_c.kernel());
 
-  const double v_scale = shared_b.machine().param("v_scale");
-  shared_a.machine().set_param("v_scale", 0.0);
-  EXPECT_DOUBLE_EQ(shared_b.machine().param("v_scale"), v_scale);
-  EXPECT_DOUBLE_EQ(shared_a.machine().param("v_scale"), 0.0);
+  const double v_scale = api::kernel_param(shared_b.machine(), "v_scale");
+  api::set_kernel_param(shared_a.machine(), "v_scale", 0.0);
+  EXPECT_DOUBLE_EQ(api::kernel_param(shared_b.machine(), "v_scale"), v_scale);
+  EXPECT_DOUBLE_EQ(api::kernel_param(shared_a.machine(), "v_scale"), 0.0);
 
   shared_b.run_seconds(1.5e-3);
   private_c.run_seconds(1.5e-3);
