@@ -7,7 +7,9 @@
 // pool until hardware threads (or the configured step-gate width) run out;
 // the measured scaling is the number CI tracks. A second section measures
 // the same single-session workload through the loopback TCP server to put a
-// number on the wire tax (framing + syscalls) relative to in-process calls.
+// number on the wire tax (framing + syscalls) relative to in-process calls,
+// and a third steps one session with the write-ahead journal on and off to
+// price durability (one fsync'd journal record per acknowledged step).
 //
 // The summary is written to `BENCH_serve.json` (override with `--out
 // <path>`; `--out -` disables the file).
@@ -16,6 +18,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -64,6 +67,38 @@ double pooled_throughput(std::size_t pool) {
   return static_cast<double>(pool) * kTurnsPerSession / wall;
 }
 
+/// Single-session runtime throughput with or without the write-ahead
+/// journal (smaller chunks than the pool section: durability is priced per
+/// acknowledged request, so the request rate is what the fsync taxes).
+double journal_throughput(bool journal_on) {
+  constexpr std::uint32_t kJournalChunkTurns = 500;
+  serve::RuntimeConfig rc;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "citl_bench_journal").string();
+  if (journal_on) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    rc.state_dir = dir;
+  }
+  double turns_per_s = 0.0;
+  {
+    serve::SessionRuntime runtime(rc);
+    const std::uint32_t id = runtime.create(api::SessionConfig{});
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t done = 0; done < kTurnsPerSession;
+         done += kJournalChunkTurns) {
+      benchmark::DoNotOptimize(runtime.step(id, kJournalChunkTurns).size());
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    turns_per_s = kTurnsPerSession / wall;
+    runtime.destroy(id);
+  }
+  if (journal_on) std::filesystem::remove_all(dir);
+  return turns_per_s;
+}
+
 /// Same single-session workload through the loopback server.
 double wire_throughput() {
   serve::SessionServer server;
@@ -104,9 +139,18 @@ void print_report(const std::string& json_path) {
   const double wire_rate = wire_throughput();
   t.add_row({"1 (wire)", io::Table::num(wire_rate, 0),
              io::Table::num(wire_rate / rates.front(), 2)});
+  const double journal_off = journal_throughput(false);
+  const double journal_on = journal_throughput(true);
+  t.add_row({"1 (journal off)", io::Table::num(journal_off, 0),
+             io::Table::num(journal_off / rates.front(), 2)});
+  t.add_row({"1 (journal on)", io::Table::num(journal_on, 0),
+             io::Table::num(journal_on / rates.front(), 2)});
   std::printf("%s\n", t.render().c_str());
   std::printf("wire tax: %.1f%% of in-process single-session throughput\n",
               100.0 * wire_rate / rates.front());
+  std::printf("journal tax: %.1f%% of journal-off throughput "
+              "(fsync per 500-turn step)\n",
+              100.0 * (1.0 - journal_on / journal_off));
 
   if (json_path.empty()) return;
   io::JsonWriter w;
@@ -127,6 +171,9 @@ void print_report(const std::string& json_path) {
   w.end_array();
   w.key("wire_turns_per_second").value(wire_rate);
   w.key("wire_fraction_of_inprocess").value(wire_rate / rates.front());
+  w.key("journal_off_turns_per_second").value(journal_off);
+  w.key("journal_on_turns_per_second").value(journal_on);
+  w.key("journal_fraction_of_unjournaled").value(journal_on / journal_off);
   w.end_object();
   io::write_text_file(json_path, w.str() + "\n");
   std::printf("wrote %s\n", json_path.c_str());

@@ -7,10 +7,20 @@
 //
 // Usage: citl_serve [--port N] [--metrics-port N] [--linger SEC]
 //                   [--max-sessions N] [--occupancy-budget X] [--workers N]
+//                   [--state-dir DIR] [--checkpoint-interval TURNS]
+//                   [--idle-ttl SEC] [--read-deadline-ms N]
 //
 // Port 0 (the default) binds an ephemeral port. With no --linger the daemon
 // serves until stdin reaches EOF, so `citl_serve < /dev/null` exits at once
 // and a shell pipe keeps it alive exactly as long as the driver wants.
+//
+// --state-dir enables the citl-journal-v1 write-ahead journal: every
+// acknowledged mutation is fsync'd per session under DIR, and a restarted
+// daemon pointed at the same DIR replays the journals bit-exactly before
+// accepting connections (the CI crash-recovery smoke kill -9s this process
+// and asserts exactly that). --idle-ttl reaps sessions no request has
+// touched for that long; --read-deadline-ms closes connections that park a
+// partial frame (slow-loris guard).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +53,17 @@ int main(int argc, char** argv) {
       config.runtime.occupancy_budget = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       config.workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
+      config.runtime.state_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-interval") == 0 &&
+               i + 1 < argc) {
+      config.runtime.checkpoint_interval_turns =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--idle-ttl") == 0 && i + 1 < argc) {
+      config.runtime.idle_session_ttl_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--read-deadline-ms") == 0 &&
+               i + 1 < argc) {
+      config.read_deadline_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -52,6 +73,13 @@ int main(int argc, char** argv) {
 
   serve::SessionServer server(config);
   server.start();
+  if (!config.runtime.state_dir.empty()) {
+    // start() replayed whatever journals the state dir held before binding.
+    std::printf("recovered %llu sessions from %s\n",
+                static_cast<unsigned long long>(
+                    server.runtime().stats().sessions_recovered),
+                config.runtime.state_dir.c_str());
+  }
   std::printf("serving citl-wire-v1 on 127.0.0.1:%u\n",
               static_cast<unsigned>(server.port()));
 

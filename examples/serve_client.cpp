@@ -8,6 +8,15 @@
 // protocol bug, not rounding.
 //
 // Usage: serve_client <port> [--turns N] [--quiet]
+//                     [--keep] [--attach ID] [--start-turn N]
+//
+// --keep leaves the session alive on the server (printed machine-parseably
+// as "session <id> kept at turn <T>") so a later invocation can resume it.
+// --attach ID re-binds to such a session — typically one recovered from its
+// journal after a server crash — and the bit-identity check then compares
+// against an in-process replay fast-forwarded to the attach point;
+// --start-turn asserts where the session must stand before stepping. The CI
+// crash-recovery smoke is exactly --keep, kill -9, restart, --attach.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -45,11 +54,20 @@ int main(int argc, char** argv) {
   const int port = std::atoi(argv[1]);
   std::uint32_t turns = 2000;
   bool quiet = false;
+  bool keep = false;
+  long long attach_id = -1;
+  long long start_turn = -1;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--turns") == 0 && i + 1 < argc) {
       turns = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--keep") == 0) {
+      keep = true;
+    } else if (std::strcmp(argv[i], "--attach") == 0 && i + 1 < argc) {
+      attach_id = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--start-turn") == 0 && i + 1 < argc) {
+      start_turn = std::atoll(argv[++i]);
     }
   }
 
@@ -59,11 +77,33 @@ int main(int argc, char** argv) {
     // The paper's §V point with the 8 deg jump programme — the same config
     // struct a local run would pass to api::to_turnloop_config.
     const api::SessionConfig config = api::paper_operating_point();
-    const serve::CreateResult created = client.create(config);
-    std::printf("session %u: schedule %u ticks, budget %.0f cycles, "
-                "static occupancy %.3f\n",
-                created.session_id, created.schedule_length,
-                created.budget_cycles, created.occupancy_estimate);
+    std::uint32_t session_id = 0;
+    std::uint64_t first_turn = 0;
+    if (attach_id >= 0) {
+      session_id = static_cast<std::uint32_t>(attach_id);
+      const serve::AttachResult attached = client.attach(session_id);
+      first_turn = attached.turn;
+      std::printf("attached session %u at turn %llu (t = %.3f ms, last step "
+                  "seq %llu)\n",
+                  session_id, static_cast<unsigned long long>(attached.turn),
+                  attached.time_s * 1e3,
+                  static_cast<unsigned long long>(attached.last_step_seq));
+      if (start_turn >= 0 &&
+          attached.turn != static_cast<std::uint64_t>(start_turn)) {
+        std::fprintf(stderr,
+                     "FAIL: attached at turn %llu, expected %lld\n",
+                     static_cast<unsigned long long>(attached.turn),
+                     start_turn);
+        return 1;
+      }
+    } else {
+      const serve::CreateResult created = client.create(config);
+      session_id = created.session_id;
+      std::printf("session %u: schedule %u ticks, budget %.0f cycles, "
+                  "static occupancy %.3f\n",
+                  created.session_id, created.schedule_length,
+                  created.budget_cycles, created.occupancy_estimate);
+    }
 
     // Step through the jump, collecting the streamed turn records.
     std::vector<hil::TurnRecord> wire;
@@ -71,7 +111,7 @@ int main(int argc, char** argv) {
     const std::uint32_t chunk = 500;
     for (std::uint32_t done = 0; done < turns;) {
       const std::uint32_t n = std::min(chunk, turns - done);
-      const auto batch = client.step(created.session_id, n);
+      const auto batch = client.step(session_id, n);
       wire.insert(wire.end(), batch.begin(), batch.end());
       done += n;
     }
@@ -81,29 +121,36 @@ int main(int argc, char** argv) {
                 rad_to_deg(wire.back().phase_rad));
 
     // Parameter access by name, exactly the console's vocabulary.
-    const double v_scale = client.param(created.session_id, "v_scale");
+    const double v_scale = client.param(session_id, "v_scale");
     if (!quiet) std::printf("param v_scale = %.10g\n", v_scale);
 
     // Snapshot, run on, rewind, re-run: the replay after restore must be
-    // bit-identical to the first pass (server-side checkpoints).
-    const std::uint32_t snap = client.snapshot(created.session_id);
-    const auto first = client.step(created.session_id, 200);
-    client.restore(created.session_id, snap);
-    const auto replay = client.step(created.session_id, 200);
-    for (std::size_t i = 0; i < first.size(); ++i) {
-      if (!records_bit_equal(first[i], replay[i])) {
-        std::fprintf(stderr,
-                     "FAIL: replay diverged from snapshot at turn %zu\n", i);
-        return 1;
+    // bit-identical to the first pass (server-side checkpoints). Skipped
+    // under --keep so the kept session stands exactly at its last stepped
+    // turn for a clean re-attach.
+    if (!keep) {
+      const std::uint32_t snap = client.snapshot(session_id);
+      const auto first = client.step(session_id, 200);
+      client.restore(session_id, snap);
+      const auto replay = client.step(session_id, 200);
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        if (!records_bit_equal(first[i], replay[i])) {
+          std::fprintf(stderr,
+                       "FAIL: replay diverged from snapshot at turn %zu\n", i);
+          return 1;
+        }
       }
+      std::printf("snapshot %u: 200-turn replay after restore is "
+                  "bit-identical\n", snap);
+      client.restore(session_id, snap);
     }
-    std::printf("snapshot %u: 200-turn replay after restore is "
-                "bit-identical\n", snap);
-    client.restore(created.session_id, snap);
 
     // The acceptance check: an in-process TurnLoop fed the same config must
-    // produce byte-identical records to what the server streamed.
+    // produce byte-identical records to what the server streamed. After an
+    // attach, the local loop first fast-forwards to the attach point — a
+    // journal-recovered session must continue the *same* trajectory.
     hil::TurnLoop local(api::to_turnloop_config(config));
+    if (first_turn > 0) local.run(static_cast<std::int64_t>(first_turn));
     std::size_t mismatches = 0;
     std::size_t turn_index = 0;
     local.run(static_cast<std::int64_t>(wire.size()),
@@ -117,11 +164,14 @@ int main(int argc, char** argv) {
     if (mismatches != 0 || turn_index != wire.size()) {
       std::fprintf(stderr,
                    "FAIL: wire records differ from in-process replay "
-                   "(%zu mismatches over %zu turns)\n",
-                   mismatches, turn_index);
+                   "(%zu mismatches over %zu turns from turn %llu)\n",
+                   mismatches, turn_index,
+                   static_cast<unsigned long long>(first_turn));
       return 1;
     }
-    std::printf("wire vs in-process: %zu turns byte-identical\n", wire.size());
+    std::printf("wire vs in-process: %zu turns byte-identical from turn "
+                "%llu\n",
+                wire.size(), static_cast<unsigned long long>(first_turn));
 
     const serve::StatsResult stats = client.stats();
     std::printf("server: %u active sessions, %llu created, %llu turns "
@@ -131,8 +181,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.turns_stepped),
                 stats.occupancy_admitted);
 
-    client.destroy(created.session_id);
-    std::printf("session %u destroyed — OK\n", created.session_id);
+    if (keep) {
+      std::printf("session %u kept at turn %llu\n", session_id,
+                  static_cast<unsigned long long>(first_turn + wire.size()));
+    } else {
+      client.destroy(session_id);
+      std::printf("session %u destroyed — OK\n", session_id);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_client: %s\n", e.what());

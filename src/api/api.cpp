@@ -1,5 +1,6 @@
 #include "api/api.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "core/units.hpp"
@@ -66,6 +67,61 @@ void validate(const SessionConfig& config) {
                 "implies superluminal beam (beta = " + std::to_string(beta) +
                     " at the SIS18 circumference)");
   }
+}
+
+namespace {
+
+/// FNV-1a 64-bit, fed field by field in the citl-wire-v1 create-payload
+/// order. Doubles hash their raw binary64 bit pattern so the digest is as
+/// bit-exact as the wire encoding itself.
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    bytes(b, sizeof(b));
+  }
+  void u32(std::uint32_t v) { u64(v); }
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+std::uint64_t session_config_digest(const SessionConfig& config) {
+  Fnv1a h;
+  h.f64(config.f_ref_hz);
+  h.u32(static_cast<std::uint32_t>(config.harmonic));
+  h.f64(config.f_sync_hz);
+  h.f64(config.gap_voltage_v);
+  h.f64(config.jump_amplitude_deg);
+  h.f64(config.jump_start_s);
+  h.f64(config.jump_interval_s);
+  h.f64(config.gain);
+  h.u8(config.control_enabled ? 1 : 0);
+  h.u8(config.pipelined ? 1 : 0);
+  h.u8(config.cycle_accurate ? 1 : 0);
+  h.u8(config.synthesize_waveform ? 1 : 0);
+  h.u8(config.quantise_period ? 1 : 0);
+  h.f64(config.phase_noise_rad);
+  h.u64(config.noise_seed);
+  h.u8(config.supervised ? 1 : 0);
+  return h.value();
 }
 
 double effective_gap_voltage_v(const SessionConfig& config) {

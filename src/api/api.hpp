@@ -88,6 +88,13 @@ void validate(const SessionConfig& config);
 /// energy (or config.gap_voltage_v verbatim when that override is set).
 [[nodiscard]] double effective_gap_voltage_v(const SessionConfig& config);
 
+/// FNV-1a digest over the canonical field encoding (the citl-wire-v1 create
+/// payload order, raw binary64 bit patterns for doubles). Equal configs —
+/// and only equal configs, up to hash collision — share a digest; the
+/// session journal stores it in the file header so recovery refuses to
+/// replay a step log against a different operating point.
+[[nodiscard]] std::uint64_t session_config_digest(const SessionConfig& config);
+
 /// Expands a SessionConfig into the turn-level engine configuration. The
 /// expansion is deterministic: equal SessionConfigs produce byte-identical
 /// TurnLoopConfigs, which is what makes a session stepped over the wire

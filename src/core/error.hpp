@@ -30,6 +30,9 @@ enum class ErrorCode : std::uint16_t {
   kAdmissionRejected = 8,  ///< session runtime refused the load
   kBadFrame = 9,           ///< malformed citl-wire-v1 frame
   kInternal = 10,          ///< unclassified failure
+  kTimeout = 11,           ///< socket or request deadline expired
+  kRetryExhausted = 12,    ///< retry policy gave up before success
+  kJournalCorrupt = 13,    ///< citl-journal-v1 file failed validation
 };
 
 /// Stable lower_snake name of a code ("admission_rejected"), for logs and
@@ -93,6 +96,9 @@ inline const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kAdmissionRejected: return "admission_rejected";
     case ErrorCode::kBadFrame: return "bad_frame";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kRetryExhausted: return "retry_exhausted";
+    case ErrorCode::kJournalCorrupt: return "journal_corrupt";
   }
   return "unknown";
 }

@@ -71,6 +71,20 @@ class Rng {
     return Rng(next_u64() ^ (0x2545f4914f6cdd1dull * (stream + 1)));
   }
 
+  /// Raw generator state, for checkpoint serialization. Restoring the four
+  /// words with set_state() reproduces the exact output sequence.
+  struct State {
+    std::uint64_t s[4];
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return State{{state_[0], state_[1], state_[2], state_[3]}};
+  }
+
+  void set_state(const State& st) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -31,6 +31,25 @@ void BeamPhaseController::reset() {
   last_correction_hz_ = 0.0;
 }
 
+BeamPhaseController::State BeamPhaseController::state() const {
+  State st;
+  st.fir_delay = lowpass_.delay_state();
+  st.fir_head = lowpass_.delay_head();
+  st.dc_prev_in = dc_prev_in_;
+  st.dc_prev_out = dc_prev_out_;
+  st.primed = primed_;
+  st.last_correction_hz = last_correction_hz_;
+  return st;
+}
+
+void BeamPhaseController::set_state(const State& st) {
+  lowpass_.set_delay_state(st.fir_delay, st.fir_head);
+  dc_prev_in_ = st.dc_prev_in;
+  dc_prev_out_ = st.dc_prev_out;
+  primed_ = st.primed;
+  last_correction_hz_ = st.last_correction_hz;
+}
+
 double BeamPhaseController::update(double phase_rad) {
   const double x = lowpass_.process(phase_rad);
   // DC blocker: y_n = x_n − x_{n−1} + r·y_{n−1}. Priming with the first

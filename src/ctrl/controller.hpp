@@ -58,6 +58,20 @@ class BeamPhaseController {
     return last_correction_hz_;
   }
 
+  /// Full filter state, for checkpoint serialization. Restoring via
+  /// set_state() on a controller built from the same config reproduces the
+  /// exact output sequence.
+  struct State {
+    std::vector<double> fir_delay;
+    std::size_t fir_head = 0;
+    double dc_prev_in = 0.0;
+    double dc_prev_out = 0.0;
+    bool primed = false;
+    double last_correction_hz = 0.0;
+  };
+  [[nodiscard]] State state() const;
+  void set_state(const State& st);
+
  private:
   ControllerConfig config_;
   sig::FirFilter lowpass_;
@@ -78,6 +92,22 @@ class PhaseDecimator {
   bool feed(double phase_rad);
   [[nodiscard]] double output() const noexcept { return output_; }
   [[nodiscard]] std::size_t factor() const noexcept { return factor_; }
+
+  /// Accumulator state, for checkpoint serialization.
+  struct State {
+    std::size_t count = 0;
+    double acc = 0.0;
+    double output = 0.0;
+  };
+  [[nodiscard]] State state() const noexcept {
+    return State{count_, acc_, output_};
+  }
+  void set_state(const State& st) {
+    CITL_CHECK_MSG(st.count < factor_, "decimator count exceeds factor");
+    count_ = st.count;
+    acc_ = st.acc;
+    output_ = st.output;
+  }
 
  private:
   std::size_t factor_;

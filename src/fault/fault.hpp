@@ -80,4 +80,15 @@ struct FaultPlan {
 /// citl::ConfigError naming the offending entry (index and kind).
 void validate(const FaultPlan& plan);
 
+/// Mixes an entry's own seed with the host's stream seed (the golden-ratio
+/// idiom the framework uses for its ADC noise channels): campaigns — and the
+/// serve-layer chaos proxy, which seeds its per-connection/per-direction
+/// streams the same way — decorrelate across scenarios yet replay exactly
+/// per (seed, stream).
+[[nodiscard]] inline std::uint64_t derive_stream(
+    std::uint64_t entry_seed, std::uint64_t stream_seed) noexcept {
+  return entry_seed ^ (stream_seed * 0x9e3779b97f4a7c15ull) ^
+         0x5851f42d4c957f2dull;
+}
+
 }  // namespace citl::fault

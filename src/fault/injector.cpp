@@ -13,13 +13,12 @@ namespace citl::fault {
 
 namespace {
 
-/// Mixes the entry's own seed with the host's stream seed (the same golden-
-/// ratio idiom the framework uses for its ADC noise channels): a campaign
-/// decorrelates across sweep scenarios yet replays exactly per (plan, seed).
+/// Per-entry RNG streams use the shared fault::derive_stream idiom so a
+/// campaign decorrelates across sweep scenarios yet replays exactly per
+/// (plan, seed).
 std::uint64_t entry_stream(std::uint64_t entry_seed,
                            std::uint64_t stream_seed) noexcept {
-  return entry_seed ^ (stream_seed * 0x9e3779b97f4a7c15ull) ^
-         0x5851f42d4c957f2dull;
+  return derive_stream(entry_seed, stream_seed);
 }
 
 [[nodiscard]] bool framework_only(FaultKind kind) noexcept {

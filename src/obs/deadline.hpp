@@ -93,6 +93,33 @@ class DeadlineProfiler {
 
   void reset();
 
+  /// Full accumulator state, for checkpoint serialization. set_state() on a
+  /// fresh profiler reproduces the exact stats()/bucket_count() outputs.
+  struct State {
+    std::int64_t revolutions = 0;
+    std::int64_t misses = 0;
+    double headroom_min = 0.0;
+    double headroom_max = 0.0;
+    double headroom_sum = 0.0;
+    double worst_overrun = 0.0;
+    std::array<std::uint64_t, kBuckets + 1> buckets{};
+    std::vector<DeadlineMiss> worst;
+  };
+  [[nodiscard]] State state() const {
+    return State{revolutions_,   misses_,  headroom_min_, headroom_max_,
+                 headroom_sum_,  worst_overrun_, buckets_, worst_};
+  }
+  void set_state(const State& st) {
+    revolutions_ = st.revolutions;
+    misses_ = st.misses;
+    headroom_min_ = st.headroom_min;
+    headroom_max_ = st.headroom_max;
+    headroom_sum_ = st.headroom_sum;
+    worst_overrun_ = st.worst_overrun;
+    buckets_ = st.buckets;
+    worst_ = st.worst;
+  }
+
  private:
   std::int64_t revolutions_ = 0;
   std::int64_t misses_ = 0;

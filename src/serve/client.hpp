@@ -7,18 +7,66 @@
 // rejected) as ConfigError, everything else as Error — carrying the server's
 // message verbatim. Code written against SessionRuntime works unchanged
 // against a SessionClient.
+//
+// Robustness (docs/SERVING.md "Durability" section): socket timeouts
+// surface as typed kTimeout errors; a RetryPolicy re-sends the *identical*
+// request bytes (same request id) under capped exponential backoff with
+// deterministic jitter, reconnecting + re-running the hello handshake
+// transparently when the connection dropped. Retries are safe because every
+// effectful operation is idempotent on the server: creates carry a client
+// nonce, steps carry a per-session exactly-once sequence number (the server
+// replays the cached response for a duplicate), destroys tolerate kNotFound
+// after a retry, and everything else is a read or a value-idempotent write.
+// attach() re-binds to a journalled session after a client restart and
+// resynchronises the step sequence counter from the server.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "api/api.hpp"
+#include "core/random.hpp"
 #include "hil/turnloop.hpp"
 #include "serve/wire.hpp"
 
 namespace citl::serve {
+
+/// How request() behaves when the transport fails (timeout, dropped or
+/// refused connection, torn response stream). Protocol-level errors — a
+/// typed non-kOk status from the server — are never retried: they are
+/// deterministic answers, not transport faults.
+struct RetryPolicy {
+  /// Total attempts per request; 1 = fail fast (the pre-retry behaviour:
+  /// the original transport error is rethrown unchanged).
+  unsigned max_attempts = 1;
+  /// First backoff; subsequent ones multiply by `multiplier`, capped at
+  /// `max_backoff_ms`, then jittered to 50–100% of the capped value.
+  std::uint32_t initial_backoff_ms = 10;
+  std::uint32_t max_backoff_ms = 1000;
+  double multiplier = 2.0;
+  /// Overall wall-clock budget per request across attempts and backoffs;
+  /// exceeding it throws kRetryExhausted. 0 = unbounded.
+  std::uint32_t deadline_ms = 0;
+  /// Seed of the deterministic backoff-jitter stream (citl::Rng), so a
+  /// test's retry schedule is reproducible run-to-run.
+  std::uint64_t jitter_seed = 0x6369746cull;  // "citl"
+};
+
+struct ClientConfig {
+  /// Server port on 127.0.0.1.
+  std::uint16_t port = 0;
+  /// SO_RCVTIMEO / SO_SNDTIMEO in milliseconds; a blocked read or write
+  /// past this throws Error{kTimeout}. 0 = block forever.
+  std::uint32_t recv_timeout_ms = 0;
+  std::uint32_t send_timeout_ms = 0;
+  RetryPolicy retry;
+  /// Re-dial and re-handshake transparently when the connection dropped
+  /// (observable only with retry.max_attempts > 1).
+  bool reconnect = true;
+};
 
 /// What create() returns beyond the session id.
 struct CreateResult {
@@ -26,6 +74,13 @@ struct CreateResult {
   unsigned schedule_length = 0;
   double budget_cycles = 0.0;
   double occupancy_estimate = 0.0;
+};
+
+/// What attach() returns: where the (journalled) session currently stands.
+struct AttachResult {
+  double time_s = 0.0;
+  std::uint64_t turn = 0;
+  std::uint64_t last_step_seq = 0;
 };
 
 /// Stats response (subset of RuntimeStats that crosses the wire).
@@ -36,6 +91,16 @@ struct StatsResult {
   std::uint64_t step_requests = 0;
   std::uint64_t turns_stepped = 0;
   double occupancy_admitted = 0.0;
+  std::uint64_t sessions_recovered = 0;
+  std::uint64_t sessions_reaped = 0;
+  std::uint64_t step_replays = 0;
+};
+
+/// Client-side transport counters (monotonic over the client's lifetime).
+struct ClientStats {
+  std::uint64_t retries = 0;     ///< re-sent requests (excludes attempt 1)
+  std::uint64_t reconnects = 0;  ///< successful re-dials after a drop
+  std::uint64_t timeouts = 0;    ///< socket deadline expiries observed
 };
 
 class SessionClient {
@@ -43,13 +108,22 @@ class SessionClient {
   /// Connects to 127.0.0.1:`port` and performs the hello handshake.
   /// Throws ConfigError when the connection or handshake fails.
   explicit SessionClient(std::uint16_t port);
+  /// Full-config constructor (timeouts, retry policy, reconnect).
+  explicit SessionClient(const ClientConfig& config);
   ~SessionClient();
 
   SessionClient(const SessionClient&) = delete;
   SessionClient& operator=(const SessionClient&) = delete;
 
   [[nodiscard]] CreateResult create(const api::SessionConfig& config);
+  /// Destroys a session. After a retry or reconnect, a kNotFound response
+  /// is treated as success — the earlier attempt evidently landed.
   void destroy(std::uint32_t session_id);
+
+  /// Re-binds to a live (typically journal-recovered) session and
+  /// resynchronises this client's exactly-once step counter with the
+  /// server's last applied sequence number.
+  [[nodiscard]] AttachResult attach(std::uint32_t session_id);
 
   [[nodiscard]] std::vector<hil::TurnRecord> step(std::uint32_t session_id,
                                                   std::uint32_t turns);
@@ -68,15 +142,33 @@ class SessionClient {
 
   [[nodiscard]] StatsResult stats();
 
+  [[nodiscard]] const ClientStats& client_stats() const noexcept {
+    return stats_;
+  }
+
  private:
-  /// Sends one request and blocks for its response; throws the typed error
-  /// on a non-kOk status. Returns the response payload reader state.
+  /// Sends one request and blocks for its response, retrying per the
+  /// policy; throws the typed error on a non-kOk status.
   Frame request(Opcode op, std::uint32_t session_id,
                 std::vector<std::uint8_t> payload);
+  /// One attempt: write `bytes`, read frames until `request_id` answers
+  /// (stale duplicates are skipped). Transport faults throw a retryable
+  /// internal exception type.
+  Frame transact(const std::vector<std::uint8_t>& bytes,
+                 std::uint32_t request_id);
+  /// Dials + hello. Throws ConfigError when the dial or handshake fails.
+  void connect_now();
+  void drop_connection() noexcept;
 
+  ClientConfig config_;
   int fd_ = -1;
   std::uint32_t next_request_id_ = 1;
   FrameParser parser_;
+  Rng jitter_;     ///< deterministic backoff jitter (retry.jitter_seed)
+  Rng nonce_rng_;  ///< uniquely-seeded create-nonce stream
+  /// Per-session exactly-once step sequence (last applied, client view).
+  std::map<std::uint32_t, std::uint64_t> step_seq_;
+  ClientStats stats_;
 };
 
 }  // namespace citl::serve

@@ -1,0 +1,438 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace citl::serve {
+
+const char* journal_record_type_name(JournalRecordType type) noexcept {
+  switch (type) {
+    case JournalRecordType::kConfig: return "config";
+    case JournalRecordType::kSetParam: return "set_param";
+    case JournalRecordType::kSetState: return "set_state";
+    case JournalRecordType::kEnableControl: return "enable_control";
+    case JournalRecordType::kStep: return "step";
+    case JournalRecordType::kSnapshot: return "snapshot";
+    case JournalRecordType::kRestore: return "restore";
+    case JournalRecordType::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+/// Fixed bytes per record around the payload: u32 len + u8 type + u64 seq
+/// before, u64 chain hash after.
+constexpr std::size_t kRecordOverhead = 4 + 1 + 8 + 8;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
+                    std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Chain step shared by writer and scanner: mixes the previous chain value
+/// with the record identity and payload.
+std::uint64_t chain_record(std::uint64_t prev, JournalRecordType type,
+                           std::uint64_t seq, const std::uint8_t* payload,
+                           std::size_t len) noexcept {
+  std::uint8_t fixed[17];
+  for (int i = 0; i < 8; ++i) fixed[i] = static_cast<std::uint8_t>(prev >> (8 * i));
+  fixed[8] = static_cast<std::uint8_t>(type);
+  for (int i = 0; i < 8; ++i) {
+    fixed[9 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  std::uint64_t h = fnv1a(kFnvOffset, fixed, sizeof(fixed));
+  return fnv1a(h, payload, len);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::vector<std::uint8_t> encode_header(std::uint32_t session_id,
+                                        std::uint64_t config_digest) {
+  std::vector<std::uint8_t> h(kJournalHeaderBytes);
+  std::memcpy(h.data(), kJournalMagic, 15);
+  h[15] = kJournalVersion;
+  put_u32(h.data() + 16, session_id);
+  put_u64(h.data() + 20, config_digest);
+  return h;
+}
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw Error("journal " + path + ": " + what + " (" +
+                  std::string(std::strerror(errno)) + ")",
+              ErrorCode::kInternal);
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_io("write failed", path);
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+// --- writer ---------------------------------------------------------------
+
+JournalWriter::JournalWriter(const std::string& path, std::uint32_t session_id,
+                             std::uint64_t config_digest)
+    : path_(path) {
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd_ < 0) throw_io("open failed", path);
+  const auto header = encode_header(session_id, config_digest);
+  write_all(fd_, header.data(), header.size(), path_);
+  if (::fsync(fd_) != 0) throw_io("fsync failed", path);
+  chain_ = fnv1a(kFnvOffset, header.data(), header.size());
+  bytes_ = header.size();
+}
+
+JournalWriter::JournalWriter(const std::string& path, const JournalScan& scan)
+    : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0) throw_io("open failed", path);
+  // Drop the corrupt tail (if any) so the continued chain stays valid.
+  if (::ftruncate(fd_, static_cast<off_t>(scan.valid_bytes)) != 0) {
+    throw_io("truncate failed", path);
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) throw_io("seek failed", path);
+  next_seq_ = scan.next_seq;
+  chain_ = scan.chain;
+  bytes_ = scan.valid_bytes;
+}
+
+JournalWriter::~JournalWriter() { close_fd(); }
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      next_seq_(other.next_seq_),
+      chain_(other.chain_),
+      records_(other.records_),
+      bytes_(other.bytes_) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    next_seq_ = other.next_seq_;
+    chain_ = other.chain_;
+    records_ = other.records_;
+    bytes_ = other.bytes_;
+  }
+  return *this;
+}
+
+void JournalWriter::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void JournalWriter::append(JournalRecordType type,
+                           const std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) return;
+  CITL_CHECK_MSG(payload.size() <= kMaxJournalPayloadBytes,
+                 "journal record payload too large");
+  const std::uint64_t seq = next_seq_;
+  const std::uint64_t chain =
+      chain_record(chain_, type, seq, payload.data(), payload.size());
+  std::vector<std::uint8_t> rec(kRecordOverhead + payload.size());
+  put_u32(rec.data(), static_cast<std::uint32_t>(payload.size()));
+  rec[4] = static_cast<std::uint8_t>(type);
+  put_u64(rec.data() + 5, seq);
+  std::memcpy(rec.data() + 13, payload.data(), payload.size());
+  put_u64(rec.data() + 13 + payload.size(), chain);
+  write_all(fd_, rec.data(), rec.size(), path_);
+  if (::fsync(fd_) != 0) throw_io("fsync failed", path_);
+  next_seq_ = seq + 1;
+  chain_ = chain;
+  ++records_;
+  bytes_ += rec.size();
+}
+
+void JournalWriter::discard() {
+  close_fd();
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+// --- scanner --------------------------------------------------------------
+
+JournalScan scan_journal(const std::string& path) {
+  // Read the whole file: journals are bounded by checkpoint compaction and a
+  // session's own request history, and scanning runs once per recovery.
+  std::vector<std::uint8_t> bytes;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      throw Error("journal " + path + ": open failed (" +
+                      std::string(std::strerror(errno)) + ")",
+                  ErrorCode::kNotFound);
+    }
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw_io("read failed", path);
+      }
+      if (r == 0) break;
+      bytes.insert(bytes.end(), buf, buf + r);
+    }
+    ::close(fd);
+  }
+
+  if (bytes.size() < kJournalHeaderBytes) {
+    throw Error("journal " + path + ": file is " +
+                    std::to_string(bytes.size()) +
+                    " byte(s), shorter than the " +
+                    std::to_string(kJournalHeaderBytes) + "-byte header",
+                ErrorCode::kJournalCorrupt);
+  }
+  if (std::memcmp(bytes.data(), kJournalMagic, 15) != 0) {
+    throw Error("journal " + path + ": bad magic at offset 0",
+                ErrorCode::kJournalCorrupt);
+  }
+  if (bytes[15] != kJournalVersion) {
+    throw Error("journal " + path + ": unsupported format version " +
+                    std::to_string(static_cast<int>(bytes[15])) +
+                    " at offset 15",
+                ErrorCode::kJournalCorrupt);
+  }
+
+  JournalScan out;
+  out.session_id = get_u32(bytes.data() + 16);
+  out.config_digest = get_u64(bytes.data() + 20);
+  out.chain = fnv1a(kFnvOffset, bytes.data(), kJournalHeaderBytes);
+  out.valid_bytes = kJournalHeaderBytes;
+
+  std::size_t pos = kJournalHeaderBytes;
+  const auto corrupt_at = [&](std::size_t offset, const std::string& why) {
+    out.corrupt = true;
+    out.corrupt_offset = offset;
+    out.corrupt_reason = why + " at offset " + std::to_string(offset) + " (" +
+                         error_code_name(ErrorCode::kJournalCorrupt) + ")";
+  };
+
+  while (pos < bytes.size()) {
+    const std::size_t record_start = pos;
+    if (bytes.size() - pos < kRecordOverhead) {
+      corrupt_at(record_start, "truncated record frame");
+      break;
+    }
+    const std::uint32_t len = get_u32(bytes.data() + pos);
+    if (len > kMaxJournalPayloadBytes) {
+      corrupt_at(record_start, "record payload length " + std::to_string(len) +
+                                   " exceeds the 1 MiB bound");
+      break;
+    }
+    if (bytes.size() - pos < kRecordOverhead + len) {
+      corrupt_at(record_start, "truncated record payload");
+      break;
+    }
+    const auto type = static_cast<JournalRecordType>(bytes[pos + 4]);
+    if (static_cast<std::uint8_t>(type) <
+            static_cast<std::uint8_t>(JournalRecordType::kConfig) ||
+        static_cast<std::uint8_t>(type) >
+            static_cast<std::uint8_t>(JournalRecordType::kCheckpoint)) {
+      corrupt_at(record_start,
+                 "unknown record type " +
+                     std::to_string(static_cast<int>(bytes[pos + 4])));
+      break;
+    }
+    const std::uint64_t seq = get_u64(bytes.data() + pos + 5);
+    if (seq != out.next_seq) {
+      corrupt_at(record_start, "record sequence " + std::to_string(seq) +
+                                   " (expected " +
+                                   std::to_string(out.next_seq) + ")");
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + 13;
+    const std::uint64_t want = chain_record(out.chain, type, seq, payload, len);
+    const std::uint64_t got = get_u64(payload + len);
+    if (want != got) {
+      corrupt_at(record_start, "chain hash mismatch");
+      break;
+    }
+    JournalRecord rec;
+    rec.type = type;
+    rec.seq = seq;
+    rec.payload.assign(payload, payload + len);
+    out.records.push_back(std::move(rec));
+    out.chain = want;
+    out.next_seq = seq + 1;
+    pos += kRecordOverhead + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+// --- checkpoint image codec ----------------------------------------------
+
+void encode_checkpoint(WireWriter& w, const hil::TurnLoop::Checkpoint& cp) {
+  w.f64(cp.time_s);
+  w.u64(static_cast<std::uint64_t>(cp.turn));
+  w.u8(cp.control_on ? 1 : 0);
+  w.f64(cp.ctrl_phase_rad);
+  w.f64(cp.correction_hz);
+  w.f64(cp.last_phase);
+  w.f64(cp.budget_cycles);
+  w.u64(static_cast<std::uint64_t>(cp.realtime_violations));
+
+  const auto ctrl = cp.controller.state();
+  w.u32(static_cast<std::uint32_t>(ctrl.fir_delay.size()));
+  for (double v : ctrl.fir_delay) w.f64(v);
+  w.u64(static_cast<std::uint64_t>(ctrl.fir_head));
+  w.f64(ctrl.dc_prev_in);
+  w.f64(ctrl.dc_prev_out);
+  w.u8(ctrl.primed ? 1 : 0);
+  w.f64(ctrl.last_correction_hz);
+
+  const auto dec = cp.decimator.state();
+  w.u64(static_cast<std::uint64_t>(dec.count));
+  w.f64(dec.acc);
+  w.f64(dec.output);
+
+  const auto rng = cp.noise.state();
+  for (std::uint64_t s : rng.s) w.u64(s);
+
+  const auto dl = cp.deadline.state();
+  w.u64(static_cast<std::uint64_t>(dl.revolutions));
+  w.u64(static_cast<std::uint64_t>(dl.misses));
+  w.f64(dl.headroom_min);
+  w.f64(dl.headroom_max);
+  w.f64(dl.headroom_sum);
+  w.f64(dl.worst_overrun);
+  for (std::uint64_t b : dl.buckets) w.u64(b);
+  w.u32(static_cast<std::uint32_t>(dl.worst.size()));
+  for (const auto& miss : dl.worst) {
+    w.u64(static_cast<std::uint64_t>(miss.revolution));
+    w.f64(miss.time_s);
+    w.f64(miss.exec_cycles);
+    w.f64(miss.budget_cycles);
+  }
+
+  w.u32(static_cast<std::uint32_t>(cp.states.size()));
+  for (double v : cp.states) w.f64(v);
+  w.u32(static_cast<std::uint32_t>(cp.pipe_regs.size()));
+  for (double v : cp.pipe_regs) w.f64(v);
+}
+
+void decode_checkpoint_into(WireReader& r, hil::TurnLoop::Checkpoint& cp) {
+  cp.time_s = r.f64();
+  cp.turn = static_cast<std::int64_t>(r.u64());
+  cp.control_on = r.u8() != 0;
+  cp.ctrl_phase_rad = r.f64();
+  cp.correction_hz = r.f64();
+  cp.last_phase = r.f64();
+  cp.budget_cycles = r.f64();
+  cp.realtime_violations = static_cast<std::int64_t>(r.u64());
+
+  ctrl::BeamPhaseController::State ctrl_st;
+  const std::uint32_t fir_n = r.u32();
+  if (fir_n != cp.controller.state().fir_delay.size()) {
+    throw Error("checkpoint image FIR length " + std::to_string(fir_n) +
+                    " does not match the session's controller",
+                ErrorCode::kJournalCorrupt);
+  }
+  ctrl_st.fir_delay.resize(fir_n);
+  for (auto& v : ctrl_st.fir_delay) v = r.f64();
+  ctrl_st.fir_head = static_cast<std::size_t>(r.u64());
+  ctrl_st.dc_prev_in = r.f64();
+  ctrl_st.dc_prev_out = r.f64();
+  ctrl_st.primed = r.u8() != 0;
+  ctrl_st.last_correction_hz = r.f64();
+  cp.controller.set_state(ctrl_st);
+
+  ctrl::PhaseDecimator::State dec_st;
+  dec_st.count = static_cast<std::size_t>(r.u64());
+  dec_st.acc = r.f64();
+  dec_st.output = r.f64();
+  cp.decimator.set_state(dec_st);
+
+  Rng::State rng_st;
+  for (auto& s : rng_st.s) s = r.u64();
+  cp.noise.set_state(rng_st);
+
+  obs::DeadlineProfiler::State dl;
+  dl.revolutions = static_cast<std::int64_t>(r.u64());
+  dl.misses = static_cast<std::int64_t>(r.u64());
+  dl.headroom_min = r.f64();
+  dl.headroom_max = r.f64();
+  dl.headroom_sum = r.f64();
+  dl.worst_overrun = r.f64();
+  for (auto& b : dl.buckets) b = r.u64();
+  const std::uint32_t worst_n = r.u32();
+  if (worst_n > obs::DeadlineProfiler::kWorstRecords) {
+    throw Error("checkpoint image carries " + std::to_string(worst_n) +
+                    " worst-miss records (profiler keeps at most " +
+                    std::to_string(obs::DeadlineProfiler::kWorstRecords) + ")",
+                ErrorCode::kJournalCorrupt);
+  }
+  dl.worst.resize(worst_n);
+  for (auto& miss : dl.worst) {
+    miss.revolution = static_cast<std::int64_t>(r.u64());
+    miss.time_s = r.f64();
+    miss.exec_cycles = r.f64();
+    miss.budget_cycles = r.f64();
+  }
+  cp.deadline.set_state(dl);
+
+  const std::uint32_t states_n = r.u32();
+  if (states_n != cp.states.size()) {
+    throw Error("checkpoint image has " + std::to_string(states_n) +
+                    " model states, session expects " +
+                    std::to_string(cp.states.size()),
+                ErrorCode::kJournalCorrupt);
+  }
+  for (auto& v : cp.states) v = r.f64();
+  const std::uint32_t regs_n = r.u32();
+  if (regs_n != cp.pipe_regs.size()) {
+    throw Error("checkpoint image has " + std::to_string(regs_n) +
+                    " pipeline registers, session expects " +
+                    std::to_string(cp.pipe_regs.size()),
+                ErrorCode::kJournalCorrupt);
+  }
+  for (auto& v : cp.pipe_regs) v = r.f64();
+}
+
+}  // namespace citl::serve

@@ -1,12 +1,27 @@
 #include "serve/runtime.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <filesystem>
 #include <set>
 #include <thread>
 #include <utility>
 
+#include "serve/journal.hpp"
+
 namespace citl::serve {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 // --- deadline-aware step gate ---------------------------------------------
 // A counting gate of `width` slots whose waiters are admitted in priority
@@ -59,7 +74,9 @@ struct SessionRuntime::Session {
       : id(id_),
         api_config(api_config_),
         config(config_),
-        loop(config_, std::move(kernel)) {}
+        loop(config_, std::move(kernel)) {
+    last_used_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  }
 
   const std::uint32_t id;
   const api::SessionConfig api_config;
@@ -76,6 +93,13 @@ struct SessionRuntime::Session {
   std::map<std::uint32_t, hil::TurnLoop::Checkpoint> snapshots;
   std::uint32_t next_snapshot_id = 1;
 
+  // --- durability (guarded by `mutex` except the published atomics) -------
+  JournalWriter journal;               ///< disabled when journaling is off
+  std::uint64_t create_nonce = 0;      ///< idempotent-create key (0 = none)
+  std::uint64_t step_seq = 0;          ///< last applied exactly-once step
+  std::vector<hil::TurnRecord> last_step_records;  ///< cached for retries
+  std::int64_t turns_since_checkpoint = 0;
+
   // Published (lock-free) views of the stepped state, refreshed after each
   // step while the session mutex is held. Admission control, the step-gate
   // priority, info() and the metrics collector read these without taking
@@ -85,6 +109,13 @@ struct SessionRuntime::Session {
   std::atomic<double> time_s{0.0};
   std::atomic<std::int64_t> realtime_violations{0};
   std::atomic<bool> aborted{false};
+  std::atomic<std::uint64_t> step_seq_pub{0};
+  /// Last request touching this session (steady clock, for TTL reaping).
+  std::atomic<std::int64_t> last_used_ns{0};
+
+  void touch() {
+    last_used_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  }
 
   /// Refresh the published views from the loop. Caller holds `mutex`.
   void publish() {
@@ -97,6 +128,7 @@ struct SessionRuntime::Session {
     realtime_violations.store(loop.realtime_violations(),
                               std::memory_order_relaxed);
     aborted.store(loop.aborted(), std::memory_order_relaxed);
+    step_seq_pub.store(step_seq, std::memory_order_relaxed);
   }
 };
 
@@ -108,7 +140,11 @@ SessionRuntime::SessionRuntime(RuntimeConfig config)
       gate_(std::make_unique<StepGate>(
           config.max_concurrent_steps != 0
               ? config.max_concurrent_steps
-              : std::thread::hardware_concurrency())) {}
+              : std::thread::hardware_concurrency())) {
+  if (!config_.state_dir.empty()) {
+    std::filesystem::create_directories(config_.state_dir);
+  }
+}
 
 SessionRuntime::~SessionRuntime() = default;
 
@@ -120,6 +156,7 @@ std::shared_ptr<SessionRuntime::Session> SessionRuntime::find(
     throw Error("session " + std::to_string(id) + " not found",
                 ErrorCode::kNotFound);
   }
+  it->second->touch();
   return it->second;
 }
 
@@ -133,11 +170,43 @@ double SessionRuntime::aggregate_occupancy_locked() {
   return sum;
 }
 
-std::uint32_t SessionRuntime::create(const api::SessionConfig& config) {
+std::string SessionRuntime::journal_path(std::uint32_t id) const {
+  return config_.state_dir + "/session-" + std::to_string(id) + ".journal";
+}
+
+std::shared_ptr<SessionRuntime::Session> SessionRuntime::build_session(
+    std::uint32_t id, const api::SessionConfig& config) {
+  const hil::TurnLoopConfig tl = api::to_turnloop_config(config);
+  const auto kind = tl.synthesize_waveform ? sweep::KernelKind::kAnalytic
+                                           : sweep::KernelKind::kSampled;
+  auto kernel =
+      cache_->get(hil::TurnLoop::effective_kernel_config(tl), tl.arch, kind);
+
+  // One revolution's budget at the CGRA clock vs one kernel iteration.
+  const double budget_cycles = kernel->arch.clock_hz / tl.f_ref_hz;
+  const double static_occupancy =
+      static_cast<double>(kernel->schedule.length) / budget_cycles;
+
+  auto session = std::make_shared<Session>(id, config, tl, std::move(kernel));
+  session->static_occupancy = static_occupancy;
+  session->budget_cycles = budget_cycles;
+  session->schedule_length = session->loop.kernel().schedule.length;
+  session->occupancy.store(static_occupancy, std::memory_order_relaxed);
+  return session;
+}
+
+std::uint32_t SessionRuntime::create(const api::SessionConfig& config,
+                                     std::uint64_t nonce) {
+  if (nonce != 0) {
+    // A retried create (response lost, request re-sent) must not leak an
+    // orphan session: the nonce identifies the original request.
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    auto it = nonces_.find(nonce);
+    if (it != nonces_.end()) return it->second;
+  }
+
   // Expand + validate first: a malformed config is kInvalidConfig (etc.),
   // never an admission problem.
-  const hil::TurnLoopConfig tl = api::to_turnloop_config(config);
-
   {
     // Cheap pre-check before paying for a compilation.
     std::lock_guard<std::mutex> lk(sessions_mutex_);
@@ -151,16 +220,8 @@ std::uint32_t SessionRuntime::create(const api::SessionConfig& config) {
     }
   }
 
-  const auto kind = tl.synthesize_waveform ? sweep::KernelKind::kAnalytic
-                                           : sweep::KernelKind::kSampled;
-  auto kernel =
-      cache_->get(hil::TurnLoop::effective_kernel_config(tl), tl.arch, kind);
-
-  // One revolution's budget at the CGRA clock vs one kernel iteration.
-  const double budget_cycles = kernel->arch.clock_hz / tl.f_ref_hz;
-  const double static_occupancy =
-      static_cast<double>(kernel->schedule.length) / budget_cycles;
-
+  // build_session validates the config (api::to_turnloop_config) before the
+  // id is assigned, so a bad config never consumes an id or a journal file.
   std::lock_guard<std::mutex> lk(sessions_mutex_);
   if (sessions_.size() >= config_.max_sessions) {
     admission_rejections_.fetch_add(1, std::memory_order_relaxed);
@@ -170,29 +231,48 @@ std::uint32_t SessionRuntime::create(const api::SessionConfig& config) {
             std::to_string(config_.max_sessions) + " sessions live)",
         ErrorCode::kAdmissionRejected);
   }
+  if (nonce != 0) {
+    // Re-check under the lock we still hold: a concurrent retry may have
+    // won the race between the early check and here.
+    auto it = nonces_.find(nonce);
+    if (it != nonces_.end()) return it->second;
+  }
+  auto session = build_session(next_id_, config);
   const double aggregate = aggregate_occupancy_locked();
-  if (aggregate + static_occupancy > config_.occupancy_budget) {
+  if (aggregate + session->static_occupancy > config_.occupancy_budget) {
     admission_rejections_.fetch_add(1, std::memory_order_relaxed);
     char buf[160];
     std::snprintf(buf, sizeof(buf),
                   "admission rejected: aggregate CGRA occupancy %.3f + new "
                   "session's %.3f exceeds the %.3f budget",
-                  aggregate, static_occupancy, config_.occupancy_budget);
+                  aggregate, session->static_occupancy,
+                  config_.occupancy_budget);
     throw ConfigError(buf, ErrorCode::kAdmissionRejected);
   }
 
   const std::uint32_t id = next_id_++;
-  auto session = std::make_shared<Session>(id, config, tl, std::move(kernel));
-  session->static_occupancy = static_occupancy;
-  session->budget_cycles = budget_cycles;
-  session->schedule_length = session->loop.kernel().schedule.length;
-  session->occupancy.store(static_occupancy, std::memory_order_relaxed);
+  session->create_nonce = nonce;
+  if (!config_.state_dir.empty()) {
+    session->journal = JournalWriter(journal_path(id), id,
+                                     api::session_config_digest(config));
+    WireWriter w;
+    encode_session_config(w, config);
+    w.u64(nonce);
+    const std::uint64_t b0 = session->journal.bytes_written();
+    session->journal.append(JournalRecordType::kConfig, w.bytes());
+    journal_records_.fetch_add(1, std::memory_order_relaxed);
+    journal_bytes_.fetch_add(session->journal.bytes_written() - b0,
+                             std::memory_order_relaxed);
+  }
+  if (nonce != 0) nonces_.emplace(nonce, id);
   sessions_.emplace(id, std::move(session));
   sessions_created_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
-void SessionRuntime::destroy(std::uint32_t id) {
+void SessionRuntime::destroy(std::uint32_t id) { destroy_session(id, false); }
+
+void SessionRuntime::destroy_session(std::uint32_t id, bool reaped) {
   std::shared_ptr<Session> doomed;  // deleted outside the lock
   {
     std::lock_guard<std::mutex> lk(sessions_mutex_);
@@ -203,12 +283,47 @@ void SessionRuntime::destroy(std::uint32_t id) {
     }
     doomed = std::move(it->second);
     sessions_.erase(it);
+    if (doomed->create_nonce != 0) nonces_.erase(doomed->create_nonce);
+  }
+  {
+    // A destroyed session's journal goes with it: recovery must not
+    // resurrect sessions the client explicitly tore down.
+    std::lock_guard<std::mutex> lk(doomed->mutex);
+    doomed->journal.discard();
   }
   sessions_destroyed_.fetch_add(1, std::memory_order_relaxed);
+  if (reaped) sessions_reaped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t SessionRuntime::reap_idle() {
+  if (!(config_.idle_session_ttl_s > 0.0)) return 0;
+  const std::int64_t cutoff_ns =
+      steady_now_ns() -
+      static_cast<std::int64_t>(config_.idle_session_ttl_s * 1e9);
+  std::vector<std::uint32_t> idle;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    for (const auto& [id, s] : sessions_) {
+      if (s->last_used_ns.load(std::memory_order_relaxed) < cutoff_ns) {
+        idle.push_back(id);
+      }
+    }
+  }
+  std::size_t reaped = 0;
+  for (const std::uint32_t id : idle) {
+    try {
+      destroy_session(id, true);
+      ++reaped;
+    } catch (const Error&) {
+      // Raced with an explicit destroy — already gone.
+    }
+  }
+  return reaped;
 }
 
 std::vector<hil::TurnRecord> SessionRuntime::step(std::uint32_t id,
-                                                  std::uint32_t turns) {
+                                                  std::uint32_t turns,
+                                                  std::uint64_t step_seq) {
   if (turns > config_.max_turns_per_step) {
     throw ConfigError("step of " + std::to_string(turns) +
                           " turns exceeds max_turns_per_step (" +
@@ -219,11 +334,57 @@ std::vector<hil::TurnRecord> SessionRuntime::step(std::uint32_t id,
   step_requests_.fetch_add(1, std::memory_order_relaxed);
 
   std::lock_guard<std::mutex> session_lock(s->mutex);
+  if (step_seq != 0) {
+    if (step_seq == s->step_seq) {
+      // Exactly-once retry: the step already applied; re-serve the cached
+      // response instead of stepping twice.
+      step_replays_.fetch_add(1, std::memory_order_relaxed);
+      return s->last_step_records;
+    }
+    if (step_seq != s->step_seq + 1) {
+      throw Error("step sequence " + std::to_string(step_seq) +
+                      " out of order for session " + std::to_string(id) +
+                      " (last applied " + std::to_string(s->step_seq) + ")",
+                  ErrorCode::kBadState);
+    }
+  }
   if (s->loop.aborted()) {
     throw Error("session " + std::to_string(id) +
                     " was aborted by its supervisor's deadline policy",
                 ErrorCode::kBadState);
   }
+  const std::uint64_t seq = step_seq != 0 ? step_seq : s->step_seq + 1;
+
+  if (s->journal.enabled()) {
+    // Periodic compaction image, written *before* the step it precedes so
+    // recovery always re-executes the final journalled step (rebuilding the
+    // cached response a retry of that step needs).
+    if (!s->api_config.supervised && config_.checkpoint_interval_turns > 0 &&
+        s->turns_since_checkpoint >=
+            static_cast<std::int64_t>(config_.checkpoint_interval_turns)) {
+      WireWriter w;
+      w.u64(s->step_seq);
+      encode_checkpoint(w, s->loop.checkpoint());
+      const std::uint64_t b0 = s->journal.bytes_written();
+      s->journal.append(JournalRecordType::kCheckpoint, w.bytes());
+      journal_records_.fetch_add(1, std::memory_order_relaxed);
+      journal_bytes_.fetch_add(s->journal.bytes_written() - b0,
+                               std::memory_order_relaxed);
+      s->turns_since_checkpoint = 0;
+    }
+    // Write-ahead: the step is durable before it executes, so a crash
+    // between journal and execution replays it on recovery — the client's
+    // retry then finds it applied exactly once.
+    WireWriter w;
+    w.u32(turns);
+    w.u64(seq);
+    const std::uint64_t b0 = s->journal.bytes_written();
+    s->journal.append(JournalRecordType::kStep, w.bytes());
+    journal_records_.fetch_add(1, std::memory_order_relaxed);
+    journal_bytes_.fetch_add(s->journal.bytes_written() - b0,
+                             std::memory_order_relaxed);
+  }
+
   std::vector<hil::TurnRecord> out;
   out.reserve(turns);
   {
@@ -236,16 +397,42 @@ std::vector<hil::TurnRecord> SessionRuntime::step(std::uint32_t id,
     s->loop.run(static_cast<std::int64_t>(turns),
                 [&](const hil::TurnRecord& rec) { out.push_back(rec); });
   }
+  s->step_seq = seq;
+  s->last_step_records = out;
+  s->turns_since_checkpoint += static_cast<std::int64_t>(turns);
   s->publish();
   turns_stepped_.fetch_add(out.size(), std::memory_order_relaxed);
   return out;
 }
+
+namespace {
+
+/// Apply-then-journal helper for the small mutating requests: validation
+/// failures throw before anything lands in the journal, so replay can never
+/// reproduce an error path.
+void journal_mutation(JournalWriter& journal,
+                      std::atomic<std::uint64_t>& records,
+                      std::atomic<std::uint64_t>& bytes,
+                      JournalRecordType type, WireWriter&& w) {
+  if (!journal.enabled()) return;
+  const std::uint64_t b0 = journal.bytes_written();
+  journal.append(type, w.bytes());
+  records.fetch_add(1, std::memory_order_relaxed);
+  bytes.fetch_add(journal.bytes_written() - b0, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 void SessionRuntime::set_param(std::uint32_t id, std::string_view name,
                                double value) {
   auto s = find(id);
   std::lock_guard<std::mutex> lk(s->mutex);
   api::set_kernel_param(s->loop.model(), name, value, s->loop.lane());
+  WireWriter w;
+  w.str(name);
+  w.f64(value);
+  journal_mutation(s->journal, journal_records_, journal_bytes_,
+                   JournalRecordType::kSetParam, std::move(w));
 }
 
 double SessionRuntime::param(std::uint32_t id, std::string_view name) {
@@ -259,6 +446,11 @@ void SessionRuntime::set_state(std::uint32_t id, std::string_view name,
   auto s = find(id);
   std::lock_guard<std::mutex> lk(s->mutex);
   api::set_kernel_state(s->loop.model(), name, value, s->loop.lane());
+  WireWriter w;
+  w.str(name);
+  w.f64(value);
+  journal_mutation(s->journal, journal_records_, journal_bytes_,
+                   JournalRecordType::kSetState, std::move(w));
 }
 
 double SessionRuntime::state(std::uint32_t id, std::string_view name) {
@@ -271,6 +463,10 @@ void SessionRuntime::enable_control(std::uint32_t id, bool on) {
   auto s = find(id);
   std::lock_guard<std::mutex> lk(s->mutex);
   s->loop.enable_control(on);
+  WireWriter w;
+  w.u8(on ? 1 : 0);
+  journal_mutation(s->journal, journal_records_, journal_bytes_,
+                   JournalRecordType::kEnableControl, std::move(w));
 }
 
 std::uint32_t SessionRuntime::snapshot(std::uint32_t id) {
@@ -290,7 +486,12 @@ std::uint32_t SessionRuntime::snapshot(std::uint32_t id) {
         ErrorCode::kOutOfRange);
   }
   const std::uint32_t snap_id = s->next_snapshot_id++;
-  s->snapshots.emplace(snap_id, s->loop.checkpoint());
+  auto [it, inserted] = s->snapshots.emplace(snap_id, s->loop.checkpoint());
+  WireWriter w;
+  w.u32(snap_id);
+  encode_checkpoint(w, it->second);
+  journal_mutation(s->journal, journal_records_, journal_bytes_,
+                   JournalRecordType::kSnapshot, std::move(w));
   return snap_id;
 }
 
@@ -305,6 +506,186 @@ void SessionRuntime::restore(std::uint32_t id, std::uint32_t snapshot_id) {
   }
   s->loop.restore(it->second);
   s->publish();
+  WireWriter w;
+  w.u32(snapshot_id);
+  journal_mutation(s->journal, journal_records_, journal_bytes_,
+                   JournalRecordType::kRestore, std::move(w));
+}
+
+// --- crash recovery -------------------------------------------------------
+
+std::shared_ptr<SessionRuntime::Session> SessionRuntime::replay_journal(
+    const std::string& path, JournalScan& scan) {
+  if (scan.records.empty() ||
+      scan.records.front().type != JournalRecordType::kConfig) {
+    throw Error("journal " + path + ": no config record at offset " +
+                    std::to_string(kJournalHeaderBytes),
+                ErrorCode::kJournalCorrupt);
+  }
+  WireReader cfg_reader(scan.records.front().payload);
+  const api::SessionConfig config = decode_session_config(cfg_reader);
+  const std::uint64_t nonce = cfg_reader.u64();
+  cfg_reader.expect_end();
+  if (api::session_config_digest(config) != scan.config_digest) {
+    throw Error("journal " + path +
+                    ": config record does not match the header digest",
+                ErrorCode::kJournalCorrupt);
+  }
+
+  auto session = build_session(scan.session_id, config);
+  session->create_nonce = nonce;
+  hil::TurnLoop& loop = session->loop;
+
+  // Fast-forward point: the last compaction image. Records before it that
+  // the image captures (steps, state writes, control toggles, restores) are
+  // skipped; parameter registers are NOT part of the image, so param writes
+  // are applied throughout, and snapshot images are collected throughout
+  // (a later restore may reference an early snapshot).
+  std::size_t ckpt = 0;  // 0 = none (record 0 is the config)
+  for (std::size_t i = 1; i < scan.records.size(); ++i) {
+    if (scan.records[i].type == JournalRecordType::kCheckpoint) ckpt = i;
+  }
+
+  for (std::size_t i = 1; i < scan.records.size(); ++i) {
+    const JournalRecord& rec = scan.records[i];
+    WireReader r(rec.payload);
+    const bool before_ckpt = ckpt != 0 && i < ckpt;
+    switch (rec.type) {
+      case JournalRecordType::kConfig:
+        throw Error("journal " + path + ": duplicate config record #" +
+                        std::to_string(rec.seq),
+                    ErrorCode::kJournalCorrupt);
+      case JournalRecordType::kSetParam: {
+        const std::string name = r.str();
+        const double value = r.f64();
+        r.expect_end();
+        api::set_kernel_param(loop.model(), name, value, loop.lane());
+        break;
+      }
+      case JournalRecordType::kSetState: {
+        const std::string name = r.str();
+        const double value = r.f64();
+        r.expect_end();
+        if (!before_ckpt) {
+          api::set_kernel_state(loop.model(), name, value, loop.lane());
+        }
+        break;
+      }
+      case JournalRecordType::kEnableControl: {
+        const bool on = r.u8() != 0;
+        r.expect_end();
+        if (!before_ckpt) loop.enable_control(on);
+        break;
+      }
+      case JournalRecordType::kStep: {
+        const std::uint32_t turns = r.u32();
+        const std::uint64_t seq = r.u64();
+        r.expect_end();
+        if (!before_ckpt) {
+          std::vector<hil::TurnRecord> out;
+          out.reserve(turns);
+          loop.run(static_cast<std::int64_t>(turns),
+                   [&](const hil::TurnRecord& tr) { out.push_back(tr); });
+          session->last_step_records = std::move(out);
+          session->turns_since_checkpoint +=
+              static_cast<std::int64_t>(turns);
+        }
+        session->step_seq = seq;
+        break;
+      }
+      case JournalRecordType::kSnapshot: {
+        const std::uint32_t snap_id = r.u32();
+        hil::TurnLoop::Checkpoint image = loop.checkpoint();
+        decode_checkpoint_into(r, image);
+        r.expect_end();
+        session->snapshots.emplace(snap_id, std::move(image));
+        session->next_snapshot_id =
+            std::max(session->next_snapshot_id, snap_id + 1);
+        break;
+      }
+      case JournalRecordType::kRestore: {
+        const std::uint32_t snap_id = r.u32();
+        r.expect_end();
+        if (!before_ckpt) {
+          auto it = session->snapshots.find(snap_id);
+          if (it == session->snapshots.end()) {
+            throw Error("journal " + path + ": restore of unknown snapshot " +
+                            std::to_string(snap_id),
+                        ErrorCode::kJournalCorrupt);
+          }
+          loop.restore(it->second);
+        }
+        break;
+      }
+      case JournalRecordType::kCheckpoint: {
+        if (i != ckpt) break;  // superseded by a later compaction image
+        const std::uint64_t seq = r.u64();
+        hil::TurnLoop::Checkpoint image = loop.checkpoint();
+        decode_checkpoint_into(r, image);
+        r.expect_end();
+        loop.restore(image);
+        session->step_seq = seq;
+        session->turns_since_checkpoint = 0;
+        break;
+      }
+    }
+  }
+
+  if (!config_.state_dir.empty()) {
+    // Continue the same file (truncating any corrupt tail) so the recovered
+    // session keeps journaling where the crashed process stopped.
+    session->journal = JournalWriter(path, scan);
+  }
+  session->publish();
+  return session;
+}
+
+std::size_t SessionRuntime::recover() {
+  if (config_.state_dir.empty()) return 0;
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.state_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("session-", 0) == 0 &&
+        name.size() > 16 && name.substr(name.size() - 8) == ".journal") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::size_t recovered = 0;
+  for (const std::string& path : paths) {
+    std::shared_ptr<Session> session;
+    try {
+      JournalScan scan = scan_journal(path);
+      if (scan.corrupt) {
+        // The valid prefix still recovers; the damage is surfaced in the
+        // counters (and the corrupt tail is truncated on reopen).
+        journals_corrupt_.fetch_add(1, std::memory_order_relaxed);
+      }
+      session = replay_journal(path, scan);
+    } catch (const std::exception&) {
+      // Unusable from byte 0 (bad magic/version/header) or the replay
+      // itself failed: skip the file, keep serving.
+      journals_corrupt_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    if (sessions_.count(session->id) != 0) {
+      journals_corrupt_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // duplicate id across files — first one wins
+    }
+    next_id_ = std::max(next_id_, session->id + 1);
+    if (session->create_nonce != 0) {
+      nonces_.emplace(session->create_nonce, session->id);
+    }
+    sessions_.emplace(session->id, std::move(session));
+    sessions_recovered_.fetch_add(1, std::memory_order_relaxed);
+    ++recovered;
+  }
+  return recovered;
 }
 
 SessionInfo SessionRuntime::info(std::uint32_t id) {
@@ -320,6 +701,7 @@ SessionInfo SessionRuntime::info(std::uint32_t id) {
       s->realtime_violations.load(std::memory_order_relaxed);
   out.supervised = s->api_config.supervised;
   out.aborted = s->aborted.load(std::memory_order_relaxed);
+  out.last_step_seq = s->step_seq_pub.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -339,13 +721,20 @@ RuntimeStats SessionRuntime::stats() {
   out.turns_stepped = turns_stepped_.load(std::memory_order_relaxed);
   out.kernel_compilations = cache_->compilations();
   out.kernel_lookups = cache_->lookups();
+  out.sessions_recovered =
+      sessions_recovered_.load(std::memory_order_relaxed);
+  out.sessions_reaped = sessions_reaped_.load(std::memory_order_relaxed);
+  out.journal_records = journal_records_.load(std::memory_order_relaxed);
+  out.journal_bytes = journal_bytes_.load(std::memory_order_relaxed);
+  out.journals_corrupt = journals_corrupt_.load(std::memory_order_relaxed);
+  out.step_replays = step_replays_.load(std::memory_order_relaxed);
   return out;
 }
 
 std::string SessionRuntime::prometheus_text() {
   const RuntimeStats st = stats();
   std::string out;
-  out.reserve(1024);
+  out.reserve(1536);
   char line[192];
   const auto emit = [&](const char* name, const char* type, double value) {
     std::snprintf(line, sizeof(line), "# TYPE %s %s\n%s %.17g\n", name, type,
@@ -367,6 +756,18 @@ std::string SessionRuntime::prometheus_text() {
   emit("citl_serve_kernel_compilations_total", "counter",
        static_cast<double>(st.kernel_compilations));
   emit("citl_serve_occupancy_admitted", "gauge", st.occupancy_admitted);
+  emit("citl_serve_sessions_recovered_total", "counter",
+       static_cast<double>(st.sessions_recovered));
+  emit("citl_serve_sessions_reaped_total", "counter",
+       static_cast<double>(st.sessions_reaped));
+  emit("citl_serve_journal_records_total", "counter",
+       static_cast<double>(st.journal_records));
+  emit("citl_serve_journal_bytes_total", "counter",
+       static_cast<double>(st.journal_bytes));
+  emit("citl_serve_journals_corrupt_total", "counter",
+       static_cast<double>(st.journals_corrupt));
+  emit("citl_serve_step_replays_total", "counter",
+       static_cast<double>(st.step_replays));
 
   // Per-session gauges, one labelled series per live session.
   std::vector<std::shared_ptr<Session>> live;

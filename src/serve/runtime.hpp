@@ -46,6 +46,8 @@
 
 namespace citl::serve {
 
+struct JournalScan;
+
 struct RuntimeConfig {
   /// Hard cap on concurrently live sessions.
   std::size_t max_sessions = 64;
@@ -63,6 +65,19 @@ struct RuntimeConfig {
   std::size_t max_snapshots_per_session = 16;
   /// Kernel cache to compile through; nullptr = runtime-private cache.
   sweep::KernelCache* cache = nullptr;
+  /// Directory for per-session citl-journal-v1 write-ahead journals. Empty =
+  /// journaling off (no durability). With a state_dir set, every mutating
+  /// request is journalled + fsync'd before it is acknowledged, and
+  /// recover() rebuilds the sessions found there bit-exactly.
+  std::string state_dir;
+  /// Turns between periodic journal checkpoint images (bounds replay time on
+  /// recovery). 0 disables compaction: recovery replays from the config
+  /// record. Supervised sessions never compact (their state has no
+  /// checkpoint image) — they always replay from turn 0.
+  std::uint32_t checkpoint_interval_turns = 1u << 16;
+  /// Sessions idle longer than this are reaped by reap_idle() (their journal
+  /// is deleted with them). 0 disables TTL reaping.
+  double idle_session_ttl_s = 0.0;
 };
 
 /// Point-in-time aggregate counters (monotonic except active/occupancy).
@@ -77,6 +92,14 @@ struct RuntimeStats {
   std::size_t kernel_lookups = 0;
   /// Current aggregate occupancy estimate of admitted sessions.
   double occupancy_admitted = 0.0;
+  // --- durability (all zero with journaling off) --------------------------
+  std::uint64_t sessions_recovered = 0;  ///< rebuilt from journals
+  std::uint64_t sessions_reaped = 0;     ///< destroyed by TTL reaping
+  std::uint64_t journal_records = 0;     ///< records appended since start
+  std::uint64_t journal_bytes = 0;       ///< bytes appended since start
+  std::uint64_t journals_corrupt = 0;    ///< damaged files seen by recover()
+  std::uint64_t step_replays = 0;        ///< duplicate-seq steps answered
+                                         ///< from the cached response
 };
 
 /// Public view of one session.
@@ -90,6 +113,9 @@ struct SessionInfo {
   std::int64_t realtime_violations = 0;
   bool supervised = false;
   bool aborted = false;
+  /// Last applied exactly-once step sequence number (0 = none yet). A
+  /// re-attaching client resumes its step counter from this.
+  std::uint64_t last_step_seq = 0;
 };
 
 class SessionRuntime {
@@ -103,16 +129,28 @@ class SessionRuntime {
   /// Admits and constructs a session. Throws ConfigError{kAdmissionRejected}
   /// when the pool is full (by count or occupancy budget), or whatever
   /// api::to_turnloop_config / kernel compilation raises for a bad config.
-  std::uint32_t create(const api::SessionConfig& config);
-  /// Destroys a session (kNotFound if absent). Safe while other threads
-  /// operate on it: they finish against the detached instance.
+  /// A non-zero `nonce` makes creation idempotent: re-sending the same nonce
+  /// (a retried create after a dropped response) returns the already-created
+  /// session's id instead of creating an orphan.
+  std::uint32_t create(const api::SessionConfig& config,
+                       std::uint64_t nonce = 0);
+  /// Destroys a session (kNotFound if absent) and deletes its journal. Safe
+  /// while other threads operate on it: they finish against the detached
+  /// instance.
   void destroy(std::uint32_t id);
 
   /// Runs `turns` revolutions and returns their records. Serialised per
   /// session; passes the deadline-aware step gate. kOutOfRange when `turns`
   /// exceeds max_turns_per_step; kBadState once a supervised session's
   /// abort policy stopped the loop.
-  std::vector<hil::TurnRecord> step(std::uint32_t id, std::uint32_t turns);
+  ///
+  /// A non-zero `step_seq` requests exactly-once semantics: the sequence
+  /// must be last_step_seq + 1 (applied, journalled, response cached) or
+  /// last_step_seq itself (a retry — the cached response is returned without
+  /// re-stepping); anything else is kBadState. step_seq 0 keeps the legacy
+  /// at-most-once behaviour (the step still lands in the journal).
+  std::vector<hil::TurnRecord> step(std::uint32_t id, std::uint32_t turns,
+                                    std::uint64_t step_seq = 0);
 
   // By-name kernel access (api facade semantics: kUnknownKey names the
   // kernel and the offending key, kOutOfRange for a bad lane).
@@ -136,6 +174,20 @@ class SessionRuntime {
     return config_;
   }
 
+  /// Rebuilds sessions from the journals found in config.state_dir — call
+  /// once, before serving. Each journal's valid prefix is replayed against a
+  /// fresh engine (fast-forwarding to its last checkpoint image), which by
+  /// engine determinism reproduces the crashed session bit-exactly; damaged
+  /// files count in stats().journals_corrupt and recover to their longest
+  /// valid prefix. Returns the number of sessions recovered. No-op without
+  /// a state_dir.
+  std::size_t recover();
+
+  /// Destroys sessions idle (no request touched them) for longer than
+  /// config.idle_session_ttl_s; returns how many were reaped. The server's
+  /// housekeeping tick calls this; no-op when the TTL is 0.
+  std::size_t reap_idle();
+
   /// Prometheus exposition of the runtime (aggregate `citl_serve_*` series
   /// plus per-session occupancy/turn gauges) — register as a ScrapeServer
   /// collector to surface sessions on the /metrics endpoint.
@@ -150,6 +202,16 @@ class SessionRuntime {
   [[nodiscard]] static double occupancy_estimate(const Session& s);
   /// Sum of estimates over live sessions. Caller holds sessions_mutex_.
   [[nodiscard]] double aggregate_occupancy_locked();
+  /// Builds (but does not admit) a session for `config` under `id`.
+  [[nodiscard]] std::shared_ptr<Session> build_session(
+      std::uint32_t id, const api::SessionConfig& config);
+  /// Journal path of session `id` under config.state_dir.
+  [[nodiscard]] std::string journal_path(std::uint32_t id) const;
+  /// Replays one scanned journal into a live session. Throws on any replay
+  /// failure (the caller skips the file and counts it corrupt).
+  [[nodiscard]] std::shared_ptr<Session> replay_journal(
+      const std::string& path, JournalScan& scan);
+  void destroy_session(std::uint32_t id, bool reaped);
 
   RuntimeConfig config_;
   sweep::KernelCache own_cache_;
@@ -157,6 +219,8 @@ class SessionRuntime {
 
   std::mutex sessions_mutex_;
   std::map<std::uint32_t, std::shared_ptr<Session>> sessions_;
+  /// Idempotent-create dedupe: nonce → session id (live sessions only).
+  std::map<std::uint64_t, std::uint32_t> nonces_;
   std::uint32_t next_id_ = 1;
 
   std::unique_ptr<StepGate> gate_;
@@ -166,6 +230,12 @@ class SessionRuntime {
   std::atomic<std::uint64_t> admission_rejections_{0};
   std::atomic<std::uint64_t> step_requests_{0};
   std::atomic<std::uint64_t> turns_stepped_{0};
+  std::atomic<std::uint64_t> sessions_recovered_{0};
+  std::atomic<std::uint64_t> sessions_reaped_{0};
+  std::atomic<std::uint64_t> journal_records_{0};
+  std::atomic<std::uint64_t> journal_bytes_{0};
+  std::atomic<std::uint64_t> journals_corrupt_{0};
+  std::atomic<std::uint64_t> step_replays_{0};
 };
 
 }  // namespace citl::serve

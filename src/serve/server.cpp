@@ -9,15 +9,19 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <set>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "serve/wire.hpp"
@@ -36,12 +40,35 @@ struct Connection {
   const int fd;
   FrameParser parser;
 
+  /// Loop thread only: when the parser started holding a partial frame
+  /// (steady ns), 0 while no frame is pending. The housekeeping tick closes
+  /// connections whose partial frame outlives the read deadline.
+  std::int64_t partial_since_ns = 0;
+
   std::mutex out_mutex;
   std::vector<std::uint8_t> outbox;   ///< encoded, not yet written
   std::size_t out_written = 0;        ///< prefix of outbox already sent
   bool close_after_flush = false;     ///< set after a framing error
   bool dead = false;                  ///< loop removed the fd already
+
+  /// Request dedupe (guarded by out_mutex): the most recent responses by
+  /// request id, so a duplicated request re-sends its cached response
+  /// instead of executing twice, and requests still in flight on a worker
+  /// are not double-queued. request id 0 (framing errors) is never cached.
+  std::deque<std::pair<std::uint32_t, std::vector<std::uint8_t>>> resp_cache;
+  std::set<std::uint32_t> in_flight;
 };
+
+/// Bounded per-connection response cache depth (covers a retry burst; a
+/// duplicate older than this re-executes, which exactly-once step sequence
+/// numbers make safe).
+constexpr std::size_t kRespCacheDepth = 8;
+
+[[nodiscard]] std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -83,8 +110,16 @@ struct SessionServer::Impl {
   std::atomic<std::uint64_t> frames_received{0};
   std::atomic<std::uint64_t> frames_sent{0};
   std::atomic<std::uint64_t> bad_frames{0};
+  std::atomic<std::uint64_t> duplicate_requests{0};
+  std::atomic<std::uint64_t> read_deadline_closed{0};
+
+  /// Journals are replayed once per server lifetime, on the first start().
+  bool recovered = false;
+  /// Loop thread only: last housekeeping pass (steady ns).
+  std::int64_t last_housekeep_ns = 0;
 
   void event_loop();
+  void housekeep(std::int64_t now_ns);
   void accept_ready();
   void read_ready(const std::shared_ptr<Connection>& conn);
   void flush(const std::shared_ptr<Connection>& conn);
@@ -114,6 +149,13 @@ SessionRuntime& SessionServer::runtime() noexcept { return impl_->runtime; }
 void SessionServer::start() {
   Impl& s = *impl_;
   if (s.running.load(std::memory_order_acquire)) return;
+
+  // Crash recovery happens before the listener exists: a client can never
+  // observe a half-recovered runtime.
+  if (!s.recovered && !s.config.runtime.state_dir.empty()) {
+    s.runtime.recover();
+    s.recovered = true;
+  }
 
   s.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (s.listen_fd < 0) {
@@ -203,11 +245,32 @@ void SessionServer::Impl::wake_loop() {
 void SessionServer::Impl::event_loop() {
   constexpr int kMaxEvents = 32;
   epoll_event events[kMaxEvents];
+  // Deadlines and TTLs need a periodic tick; without them the loop blocks
+  // indefinitely (the eventfd wakes it for responses and shutdown).
+  const bool ticking = config.read_deadline_ms > 0 ||
+                       runtime.config().idle_session_ttl_s > 0.0;
+  int tick_ms = -1;
+  if (ticking) {
+    tick_ms = 50;
+    if (config.read_deadline_ms > 0) {
+      const int quarter = static_cast<int>(config.read_deadline_ms / 4);
+      tick_ms = std::min(tick_ms, std::max(5, quarter));
+    }
+  }
+  last_housekeep_ns = steady_ns();
   while (!stopping.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd, events, kMaxEvents, -1);
+    const int n = ::epoll_wait(epoll_fd, events, kMaxEvents, tick_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
+    }
+    if (ticking) {
+      const std::int64_t now = steady_ns();
+      if (now - last_housekeep_ns >=
+          static_cast<std::int64_t>(tick_ms) * 1'000'000) {
+        housekeep(now);
+        last_housekeep_ns = now;
+      }
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
@@ -248,6 +311,25 @@ void SessionServer::Impl::event_loop() {
   conns.clear();
 }
 
+void SessionServer::Impl::housekeep(std::int64_t now_ns) {
+  if (config.read_deadline_ms > 0) {
+    const std::int64_t limit =
+        static_cast<std::int64_t>(config.read_deadline_ms) * 1'000'000;
+    std::vector<std::shared_ptr<Connection>> overdue;
+    for (const auto& [fd, conn] : conns) {
+      if (conn->partial_since_ns != 0 &&
+          now_ns - conn->partial_since_ns > limit) {
+        overdue.push_back(conn);
+      }
+    }
+    for (const auto& conn : overdue) {
+      read_deadline_closed.fetch_add(1, std::memory_order_relaxed);
+      close_conn(conn);
+    }
+  }
+  if (runtime.config().idle_session_ttl_s > 0.0) runtime.reap_idle();
+}
+
 void SessionServer::Impl::accept_ready() {
   for (;;) {
     const int client = ::accept(listen_fd, nullptr, nullptr);
@@ -277,6 +359,14 @@ void SessionServer::Impl::read_ready(const std::shared_ptr<Connection>& conn) {
           handle_frame(conn, std::move(*frame));
           if (conn->dead) return;
         }
+        // Restart the partial-frame clock on every read: a peer trickling
+        // one frame byte-by-byte keeps the *same* deadline only while the
+        // frame stays incomplete.
+        conn->partial_since_ns =
+            conn->parser.buffered() > 0
+                ? (conn->partial_since_ns != 0 ? conn->partial_since_ns
+                                               : steady_ns())
+                : 0;
       } catch (const Error& e) {
         // Framing error: best-effort typed error response, then close (the
         // stream offset can no longer be trusted).
@@ -316,9 +406,11 @@ void SessionServer::Impl::flush(const std::shared_ptr<Connection>& conn) {
   {
     std::lock_guard<std::mutex> lk(conn->out_mutex);
     while (conn->out_written < conn->outbox.size()) {
+      // MSG_NOSIGNAL: a peer that vanished mid-write yields EPIPE on *this*
+      // connection instead of a process-wide SIGPIPE.
       const ssize_t n =
-          ::write(conn->fd, conn->outbox.data() + conn->out_written,
-                  conn->outbox.size() - conn->out_written);
+          ::send(conn->fd, conn->outbox.data() + conn->out_written,
+                 conn->outbox.size() - conn->out_written, MSG_NOSIGNAL);
       if (n > 0) {
         conn->out_written += static_cast<std::size_t>(n);
         continue;
@@ -327,7 +419,7 @@ void SessionServer::Impl::flush(const std::shared_ptr<Connection>& conn) {
         want_write = true;
         break;
       }
-      close_now = true;  // peer gone
+      close_now = true;  // EPIPE/ECONNRESET/EOF: this peer only
       break;
     }
     if (conn->out_written == conn->outbox.size()) {
@@ -359,6 +451,13 @@ void SessionServer::Impl::enqueue_response(
   {
     std::lock_guard<std::mutex> lk(conn->out_mutex);
     conn->outbox.insert(conn->outbox.end(), bytes.begin(), bytes.end());
+    if (resp.request_id != 0) {
+      conn->in_flight.erase(resp.request_id);
+      conn->resp_cache.emplace_back(resp.request_id, bytes);
+      if (conn->resp_cache.size() > kRespCacheDepth) {
+        conn->resp_cache.pop_front();
+      }
+    }
   }
   frames_sent.fetch_add(1, std::memory_order_relaxed);
   if (from_loop) {
@@ -388,8 +487,10 @@ Frame SessionServer::Impl::execute(const Frame& req) {
       }
       case Opcode::kCreateSession: {
         const api::SessionConfig session_config = decode_session_config(r);
+        // Optional u64 tail: idempotent-create nonce (retry-safe create).
+        const std::uint64_t nonce = r.remaining() == 8 ? r.u64() : 0;
         r.expect_end();
-        const std::uint32_t id = runtime.create(session_config);
+        const std::uint32_t id = runtime.create(session_config, nonce);
         resp.session_id = id;
         const SessionInfo info = runtime.info(id);
         w.u32(info.schedule_length);
@@ -431,11 +532,21 @@ Frame SessionServer::Impl::execute(const Frame& req) {
       }
       case Opcode::kStep: {
         const std::uint32_t turns = r.u32();
+        // Optional u64 tail: exactly-once step sequence number.
+        const std::uint64_t step_seq = r.remaining() == 8 ? r.u64() : 0;
         r.expect_end();
         const std::vector<hil::TurnRecord> records =
-            runtime.step(req.session_id, turns);
+            runtime.step(req.session_id, turns, step_seq);
         w.u32(static_cast<std::uint32_t>(records.size()));
         for (const auto& rec : records) encode_turn_record(w, rec);
+        break;
+      }
+      case Opcode::kAttachSession: {
+        r.expect_end();
+        const SessionInfo info = runtime.info(req.session_id);
+        w.f64(info.time_s);
+        w.u64(static_cast<std::uint64_t>(info.turn));
+        w.u64(info.last_step_seq);
         break;
       }
       case Opcode::kSnapshot: {
@@ -463,6 +574,9 @@ Frame SessionServer::Impl::execute(const Frame& req) {
         w.u64(st.step_requests);
         w.u64(st.turns_stepped);
         w.f64(st.occupancy_admitted);
+        w.u64(st.sessions_recovered);
+        w.u64(st.sessions_reaped);
+        w.u64(st.step_replays);
         break;
       }
       default:
@@ -488,6 +602,32 @@ Frame SessionServer::Impl::execute(const Frame& req) {
 
 void SessionServer::Impl::handle_frame(const std::shared_ptr<Connection>& conn,
                                        Frame frame) {
+  if (frame.request_id != 0) {
+    // Duplicate suppression: a retried request whose original response is
+    // cached gets that response re-sent verbatim; a duplicate of a request
+    // still executing is dropped (its response is already on the way).
+    bool resend = false;
+    {
+      std::lock_guard<std::mutex> lk(conn->out_mutex);
+      for (const auto& [id, bytes] : conn->resp_cache) {
+        if (id == frame.request_id) {
+          conn->outbox.insert(conn->outbox.end(), bytes.begin(), bytes.end());
+          resend = true;
+          break;
+        }
+      }
+      if (!resend && !conn->in_flight.insert(frame.request_id).second) {
+        duplicate_requests.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    if (resend) {
+      duplicate_requests.fetch_add(1, std::memory_order_relaxed);
+      frames_sent.fetch_add(1, std::memory_order_relaxed);
+      if (!conn->dead) flush(conn);
+      return;
+    }
+  }
   if (frame.opcode == Opcode::kStep) {
     // The only request whose cost scales with its argument: run it on a
     // worker so a long step cannot stall other clients' round trips.
@@ -540,6 +680,10 @@ std::string SessionServer::prometheus_text() {
        s.frames_sent.load(std::memory_order_relaxed));
   emit("citl_serve_bad_frames_total", "counter",
        s.bad_frames.load(std::memory_order_relaxed));
+  emit("citl_serve_duplicate_requests_total", "counter",
+       s.duplicate_requests.load(std::memory_order_relaxed));
+  emit("citl_serve_read_deadline_closed_total", "counter",
+       s.read_deadline_closed.load(std::memory_order_relaxed));
   out += s.runtime.prometheus_text();
   return out;
 }

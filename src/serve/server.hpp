@@ -18,6 +18,15 @@
 // kBadFrame response on a best-effort basis and the connection is closed —
 // after a framing error the stream offset can no longer be trusted.
 //
+// Robustness (docs/SERVING.md "Durability" section): a peer that vanishes
+// mid-write (EPIPE/ECONNRESET) costs exactly its own connection — writes use
+// MSG_NOSIGNAL and the failure path closes that fd without touching other
+// sessions. A housekeeping tick drives partial-frame read deadlines
+// (slow-loris guard) and idle-session TTL reaping. Each connection keeps a
+// small cache of its most recent responses keyed by request id, so a
+// duplicated request (a retry racing its own delayed response) is answered
+// from the cache instead of executed twice.
+//
 // Loopback only, by design: like the scrape endpoint, nothing binds a
 // non-local interface. Remote deployment goes through a fronting proxy.
 #pragma once
@@ -34,6 +43,17 @@ struct ServerConfig {
   std::uint16_t port = 0;
   /// Worker threads executing kStep requests. 0 = min(4, hardware).
   unsigned workers = 0;
+  /// Slow-loris guard: a connection holding a *partial* frame (some bytes
+  /// arrived, the length prefix is not yet satisfied) longer than this is
+  /// closed by the housekeeping tick. 0 disables the deadline. Complete
+  /// frames are unaffected — an idle connection between requests never
+  /// trips it.
+  std::uint32_t read_deadline_ms = 0;
+  /// Durability and TTL-reaping knobs live on the runtime: set
+  /// runtime.state_dir for journaling + crash recovery (start() replays the
+  /// journals found there before accepting connections) and
+  /// runtime.idle_session_ttl_s for idle-session reaping (driven by the
+  /// same housekeeping tick as the read deadline).
   RuntimeConfig runtime;
 };
 

@@ -18,6 +18,7 @@ const char* opcode_name(Opcode op) noexcept {
     case Opcode::kRestore: return "restore";
     case Opcode::kDestroySession: return "destroy_session";
     case Opcode::kStats: return "stats";
+    case Opcode::kAttachSession: return "attach_session";
   }
   return "unknown";
 }

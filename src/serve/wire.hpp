@@ -58,6 +58,11 @@ enum class Opcode : std::uint8_t {
   kRestore = 9,        ///< u32 snapshot id
   kDestroySession = 10,
   kStats = 11,         ///< runtime-wide stats (session_id 0)
+  /// Re-attach to a journalled session after a reconnect (empty request
+  /// payload; response: f64 time_s + u64 turn + u64 last applied step
+  /// sequence number, so the client resynchronises its exactly-once step
+  /// counter with the server's journal).
+  kAttachSession = 12,
 };
 
 [[nodiscard]] const char* opcode_name(Opcode op) noexcept;

@@ -65,6 +65,19 @@ class FirFilter {
     return (static_cast<double>(taps_.size()) - 1.0) / 2.0;
   }
 
+  /// Raw delay line + head index, for checkpoint serialization. The vector
+  /// length equals taps().size(); set_delay_state() rejects anything else.
+  [[nodiscard]] const std::vector<double>& delay_state() const noexcept {
+    return delay_;
+  }
+  [[nodiscard]] std::size_t delay_head() const noexcept { return head_; }
+  void set_delay_state(const std::vector<double>& delay, std::size_t head) {
+    CITL_CHECK_MSG(delay.size() == delay_.size() && head < delay_.size(),
+                   "FIR delay-state shape mismatch");
+    delay_ = delay;
+    head_ = head;
+  }
+
  private:
   std::vector<double> taps_;
   std::vector<double> delay_;

@@ -1,0 +1,300 @@
+// Hostile-network robustness: SessionClient + SessionServer under the
+// deterministic wire-level ChaosProxy.
+//
+// The contract under test (docs/SERVING.md "Durability", docs/ROBUSTNESS.md):
+// whatever the network does — torn frames, delays, duplicated requests,
+// connections dropped mid-conversation — every request either completes
+// BIT-identically to the fault-free run or fails with a typed citl::Error.
+// Never a hang, never a crash, never silent corruption. The seeded sweep at
+// the bottom drives 64 distinct fault schedules and asserts exactly that.
+//
+// Every test here is named ServeChaos* so the TSan CI job's Serve* filter
+// covers the suite.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "hil/turnloop.hpp"
+#include "serve/chaos.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace citl;
+
+namespace {
+
+api::SessionConfig quiet_point() { return api::SessionConfig{}; }
+
+bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool records_bit_equal(const hil::TurnRecord& a, const hil::TurnRecord& b) {
+  return bit_equal(a.time_s, b.time_s) && bit_equal(a.phase_rad, b.phase_rad) &&
+         bit_equal(a.dt_s, b.dt_s) && bit_equal(a.dgamma, b.dgamma) &&
+         bit_equal(a.correction_hz, b.correction_hz) &&
+         bit_equal(a.gap_phase_rad, b.gap_phase_rad);
+}
+
+std::vector<hil::TurnRecord> serial_replay(const api::SessionConfig& config,
+                                           std::int64_t turns) {
+  hil::TurnLoop loop(api::to_turnloop_config(config));
+  std::vector<hil::TurnRecord> out;
+  out.reserve(static_cast<std::size_t>(turns));
+  loop.run(turns, [&](const hil::TurnRecord& rec) { out.push_back(rec); });
+  return out;
+}
+
+void expect_bit_identical(const std::vector<hil::TurnRecord>& got,
+                          const std::vector<hil::TurnRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(records_bit_equal(got[i], want[i]))
+        << "records diverge at turn " << i;
+  }
+}
+
+/// Server + proxy in front of it, torn down in order.
+struct ChaosedServer {
+  serve::SessionServer server;
+  serve::ChaosProxy proxy;
+
+  explicit ChaosedServer(serve::ChaosConfig chaos,
+                         serve::ServerConfig config = {})
+      : server(config), proxy([&] {
+          server.start();
+          chaos.upstream_port = server.port();
+          return chaos;
+        }()) {
+    proxy.start();
+  }
+  ~ChaosedServer() { proxy.stop(); }
+};
+
+/// A retry policy tight enough to keep tests fast but generous enough that
+/// a bounded fault schedule always converges.
+serve::ClientConfig resilient_client(std::uint16_t port,
+                                     std::uint64_t jitter_seed) {
+  serve::ClientConfig cc;
+  cc.port = port;
+  cc.recv_timeout_ms = 2000;
+  cc.send_timeout_ms = 2000;
+  cc.retry.max_attempts = 8;
+  cc.retry.initial_backoff_ms = 1;
+  cc.retry.max_backoff_ms = 20;
+  cc.retry.deadline_ms = 20000;
+  cc.retry.jitter_seed = jitter_seed;
+  return cc;
+}
+
+}  // namespace
+
+TEST(ServeChaos, TransparentProxyIsByteInvisible) {
+  serve::ChaosConfig chaos;  // all probabilities zero: plain relay
+  ChaosedServer rig(chaos);
+  serve::SessionClient client(rig.proxy.port());
+
+  const api::SessionConfig config = quiet_point();
+  const serve::CreateResult created = client.create(config);
+  std::vector<hil::TurnRecord> got;
+  for (std::uint32_t chunk : {100u, 300u, 50u}) {
+    const auto batch = client.step(created.session_id, chunk);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  expect_bit_identical(got, serial_replay(config, 450));
+  client.destroy(created.session_id);
+  EXPECT_GT(rig.proxy.stats().frames_forwarded, 0u);
+  EXPECT_EQ(rig.proxy.stats().frames_torn, 0u);
+}
+
+TEST(ServeChaos, TornFramesReassembleBitIdentically) {
+  serve::ChaosConfig chaos;
+  chaos.tear_prob = 1.0;  // every frame arrives in two pieces
+  chaos.delay_ms = 1;
+  ChaosedServer rig(chaos);
+  serve::SessionClient client(rig.proxy.port());
+
+  const api::SessionConfig config = quiet_point();
+  const serve::CreateResult created = client.create(config);
+  std::vector<hil::TurnRecord> got;
+  for (int i = 0; i < 4; ++i) {
+    const auto batch = client.step(created.session_id, 60);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  expect_bit_identical(got, serial_replay(config, 240));
+  EXPECT_GT(rig.proxy.stats().frames_torn, 0u);
+  EXPECT_EQ(client.client_stats().retries, 0u)
+      << "tears alone must not cost retries — both ends reassemble";
+}
+
+TEST(ServeChaos, DuplicatedRequestsExecuteExactlyOnce) {
+  serve::ChaosConfig chaos;
+  chaos.duplicate_prob = 1.0;  // the server sees every request twice
+  ChaosedServer rig(chaos);
+  serve::SessionClient client(rig.proxy.port());
+
+  const api::SessionConfig config = quiet_point();
+  const serve::CreateResult created = client.create(config);
+  client.set_param(created.session_id, "v_scale", 1.5);
+  std::vector<hil::TurnRecord> got;
+  for (int i = 0; i < 4; ++i) {
+    const auto batch = client.step(created.session_id, 50);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  // One execution per request: the turn counter moved exactly 200 turns and
+  // the records match a singly-stepped in-process run with the same ops.
+  EXPECT_EQ(got.size(), 200u);
+  hil::TurnLoop loop(api::to_turnloop_config(config));
+  api::set_kernel_param(loop.model(), "v_scale", 1.5, loop.lane());
+  std::vector<hil::TurnRecord> want;
+  loop.run(200, [&](const hil::TurnRecord& rec) { want.push_back(rec); });
+  expect_bit_identical(got, want);
+
+  EXPECT_GT(rig.proxy.stats().frames_duplicated, 0u);
+  EXPECT_EQ(client.stats().active_sessions, 1u);
+  client.destroy(created.session_id);
+}
+
+TEST(ServeChaos, RetryExhaustionIsATypedError) {
+  // A server that vanishes for good: every retry fails, and the client must
+  // come back with kRetryExhausted — not hang, not crash.
+  serve::SessionServer server;
+  server.start();
+  serve::ClientConfig cc = resilient_client(server.port(), 7);
+  cc.retry.max_attempts = 3;
+  cc.retry.deadline_ms = 2000;
+  serve::SessionClient client(cc);
+  const serve::CreateResult created = client.create(quiet_point());
+  server.stop();
+  try {
+    (void)client.step(created.session_id, 10);
+    FAIL() << "step against a dead server succeeded";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kRetryExhausted);
+  }
+  EXPECT_GT(client.client_stats().retries, 0u);
+}
+
+TEST(ServeChaos, DroppedConnectionsHealThroughRetryAndReconnect) {
+  serve::ChaosConfig chaos;
+  chaos.seed = 11;
+  chaos.drop_prob = 0.08;  // roughly one frame in twelve kills the link
+  ChaosedServer rig(chaos);
+  serve::SessionClient client(resilient_client(rig.proxy.port(), 11));
+
+  const api::SessionConfig config = quiet_point();
+  const serve::CreateResult created = client.create(config);
+  std::vector<hil::TurnRecord> got;
+  for (int i = 0; i < 10; ++i) {
+    const auto batch = client.step(created.session_id, 40);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  expect_bit_identical(got, serial_replay(config, 400));
+  // The schedule is seeded, so the drops genuinely happened.
+  EXPECT_GT(rig.proxy.stats().connections_dropped +
+                rig.proxy.stats().connections,
+            1u);
+  client.destroy(created.session_id);
+}
+
+// --- the acceptance sweep -------------------------------------------------
+
+TEST(ServeChaos, SixtyFourSeedSweepNeverHangsOrDivergesSilently) {
+  constexpr int kSeeds = 64;
+  constexpr int kChunks = 5;
+  constexpr std::uint32_t kChunkTurns = 30;
+
+  const api::SessionConfig config = quiet_point();
+  const std::vector<hil::TurnRecord> truth =
+      serial_replay(config, kChunks * kChunkTurns);
+
+  serve::SessionServer server;
+  server.start();
+
+  serve::ChaosStats total;
+  int completed_chunks = 0;
+  int typed_failures = 0;
+
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    serve::ChaosConfig chaos;
+    chaos.upstream_port = server.port();
+    chaos.seed = static_cast<std::uint64_t>(seed);
+    chaos.drop_prob = 0.03;
+    chaos.tear_prob = 0.10;
+    chaos.delay_prob = 0.05;
+    chaos.duplicate_prob = 0.07;
+    chaos.delay_ms = 2;
+    serve::ChaosProxy proxy(chaos);
+    proxy.start();
+
+    std::vector<hil::TurnRecord> got;
+    std::uint32_t session_id = 0;
+    try {
+      serve::SessionClient client(
+          resilient_client(proxy.port(), static_cast<std::uint64_t>(seed)));
+      const serve::CreateResult created = client.create(config);
+      session_id = created.session_id;
+      for (int chunk = 0; chunk < kChunks; ++chunk) {
+        const auto batch = client.step(session_id, kChunkTurns);
+        got.insert(got.end(), batch.begin(), batch.end());
+        ++completed_chunks;
+      }
+      client.destroy(session_id);
+      session_id = 0;
+    } catch (const Error&) {
+      // A typed failure is an acceptable outcome of a hostile schedule; a
+      // hang or a wrong answer is not.
+      ++typed_failures;
+    } catch (...) {
+      ADD_FAILURE() << "seed " << seed << " escaped with an untyped exception";
+    }
+    if (session_id != 0) {
+      // A schedule that failed mid-session abandons it; production reaps by
+      // TTL, the test tidies directly through the shared runtime.
+      try {
+        server.runtime().destroy(session_id);
+      } catch (const Error&) {
+      }
+    }
+
+    // Whatever prefix completed must be bit-identical to the fault-free
+    // run — a short answer is allowed, a wrong answer never.
+    ASSERT_LE(got.size(), truth.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(records_bit_equal(got[i], truth[i]))
+          << "seed " << seed << " diverged silently at turn " << i;
+    }
+
+    const serve::ChaosStats st = proxy.stats();
+    total.connections += st.connections;
+    total.frames_forwarded += st.frames_forwarded;
+    total.frames_torn += st.frames_torn;
+    total.frames_delayed += st.frames_delayed;
+    total.frames_duplicated += st.frames_duplicated;
+    total.connections_dropped += st.connections_dropped;
+    proxy.stop();
+  }
+
+  // The sweep must have actually exercised every fault class and still made
+  // real progress. (The probabilities guarantee this across 64 schedules.)
+  EXPECT_GT(total.frames_torn, 0u);
+  EXPECT_GT(total.frames_delayed, 0u);
+  EXPECT_GT(total.frames_duplicated, 0u);
+  EXPECT_GT(total.connections_dropped, 0u);
+  EXPECT_GT(completed_chunks, kSeeds * kChunks / 2)
+      << "most schedules should complete under an 8-attempt retry policy";
+  EXPECT_EQ(server.runtime().stats().active_sessions, 0u)
+      << "sessions leaked past destroy() and the abandoned-session cleanup";
+
+  // Finally: the server survived 64 hostile schedules and still serves a
+  // clean client correctly.
+  serve::SessionClient survivor(server.port());
+  const serve::CreateResult fresh = survivor.create(config);
+  expect_bit_identical(survivor.step(fresh.session_id, 50),
+                       serial_replay(config, 50));
+  survivor.destroy(fresh.session_id);
+}

@@ -21,7 +21,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <random>
 #include <thread>
@@ -712,4 +714,186 @@ TEST(ServeServer, MetricsJoinTheScrapeText) {
             std::string::npos);
   EXPECT_NE(text.find("citl_serve_sessions_active 1"), std::string::npos);
   EXPECT_NE(text.find("citl_serve_bad_frames_total 0"), std::string::npos);
+}
+
+// --- robustness satellites (docs/SERVING.md "Durability") -----------------
+
+namespace {
+
+/// Dials 127.0.0.1:`port` and returns the raw fd (-1 on failure) — for
+/// tests that need a misbehaving peer no SessionClient would ever be.
+int raw_dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+TEST(ServeServer, SocketTimeoutSurfacesAsTypedError) {
+  // A listener whose backlog completes the TCP handshake but which never
+  // reads or answers: the client's hello must time out with kTimeout, not
+  // block forever.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+
+  serve::ClientConfig cc;
+  cc.port = ntohs(addr.sin_port);
+  cc.recv_timeout_ms = 50;
+  try {
+    serve::SessionClient client(cc);
+    FAIL() << "hello against a mute listener succeeded";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+  ::close(listen_fd);
+}
+
+TEST(ServeServer, ReadDeadlineClosesSlowLorisButSparesIdlers) {
+  serve::ServerConfig config;
+  config.read_deadline_ms = 40;
+  ServedPair pair(config);
+
+  // An idle, frame-aligned connection must never trip the deadline...
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(pair.client->stats().active_sessions, 0u);
+
+  // ...while a peer that parks a partial frame is closed by housekeeping.
+  const int fd = raw_dial(pair.server.port());
+  ASSERT_GE(fd, 0);
+  const std::uint8_t dribble[3] = {0x0c, 0x00, 0x00};  // length prefix only
+  ASSERT_EQ(::send(fd, dribble, sizeof(dribble), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(dribble)));
+  std::uint8_t buf[16];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);  // blocks until close
+  EXPECT_EQ(n, 0) << "server should close the dribbling connection";
+  ::close(fd);
+
+  EXPECT_NE(pair.server.prometheus_text().find(
+                "citl_serve_read_deadline_closed_total 1"),
+            std::string::npos);
+  // The well-behaved client is still being served.
+  EXPECT_EQ(pair.client->stats().active_sessions, 0u);
+}
+
+TEST(ServeServer, IdleSessionsAreReapedByTheHousekeepingTick) {
+  serve::ServerConfig config;
+  config.runtime.idle_session_ttl_s = 1e-3;
+  ServedPair pair(config);
+  const auto created = pair.client->create(quiet_point());
+  (void)pair.client->step(created.session_id, 5);
+  // The housekeeping tick (50 ms when only the TTL is set) must reap it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const serve::StatsResult stats = pair.client->stats();
+  EXPECT_EQ(stats.active_sessions, 0u);
+  EXPECT_EQ(stats.sessions_reaped, 1u);
+  try {
+    (void)pair.client->step(created.session_id, 1);
+    FAIL() << "reaped session still stepped";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  }
+}
+
+TEST(ServeServer, VanishingPeerCostsOnlyItsOwnConnection) {
+  ServedPair pair;
+  const api::SessionConfig config = quiet_point();
+  const auto survivor = pair.client->create(config);
+  // The doomed peer's own session, created on a second connection.
+  serve::SessionClient doomed_owner(pair.server.port());
+  const auto doomed = doomed_owner.create(quiet_point());
+
+  // A peer that submits a large step and vanishes without reading the
+  // response: the server's write hits a dead socket (EPIPE/ECONNRESET) and
+  // must cost exactly that connection — not the other sessions.
+  {
+    const int fd = raw_dial(pair.server.port());
+    ASSERT_GE(fd, 0);
+    serve::Frame hello;
+    hello.opcode = serve::Opcode::kHello;
+    hello.request_id = 1;
+    serve::Frame step;
+    step.opcode = serve::Opcode::kStep;
+    step.request_id = 2;
+    step.session_id = doomed.session_id;
+    serve::WireWriter w;
+    w.u32(3000);
+    w.u64(0);  // legacy at-most-once: the response is sacrificial
+    step.payload = w.take();
+    std::vector<std::uint8_t> bytes = serve::encode_frame(hello);
+    const auto sb = serve::encode_frame(step);
+    bytes.insert(bytes.end(), sb.begin(), sb.end());
+    ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+    // RST on close: unread response data turns the server's write into a
+    // connection reset instead of a quiet FIN.
+    ::close(fd);
+  }
+
+  // The surviving client's session is untouched and bit-exact, and the
+  // server still accepts fresh connections.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::vector<hil::TurnRecord> got;
+  for (int i = 0; i < 2; ++i) {
+    const auto batch = pair.client->step(survivor.session_id, 100);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  serve::SessionClient fresh(pair.server.port());
+  EXPECT_EQ(fresh.stats().active_sessions, 2u);
+  expect_bit_identical(got, serial_replay(config, 200));
+}
+
+TEST(ServeServer, AttachResumesAcrossServerRestartBitIdentically) {
+  const std::string dir = ::testing::TempDir() + "citl_serve_restart";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const api::SessionConfig config = quiet_point();
+  serve::ServerConfig sc;
+  sc.runtime.state_dir = dir;
+
+  std::uint32_t session_id = 0;
+  std::vector<hil::TurnRecord> got;
+  {
+    ServedPair pair(sc);
+    const auto created = pair.client->create(config);
+    session_id = created.session_id;
+    const auto batch = pair.client->step(session_id, 120);
+    got.insert(got.end(), batch.begin(), batch.end());
+    // Neither destroy() nor a clean shutdown handshake: the pair going out
+    // of scope is the whole "crash".
+  }
+
+  ServedPair pair(sc);
+  const serve::AttachResult attached = pair.client->attach(session_id);
+  EXPECT_EQ(attached.turn, 120u);
+  EXPECT_EQ(attached.last_step_seq, 1u);
+  EXPECT_EQ(pair.client->stats().sessions_recovered, 1u);
+  const auto batch = pair.client->step(session_id, 180);
+  got.insert(got.end(), batch.begin(), batch.end());
+  expect_bit_identical(got, serial_replay(config, 300));
+  pair.client->destroy(session_id);
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/session-" +
+                              std::to_string(session_id) + ".journal"));
 }
