@@ -57,6 +57,17 @@ void validate(const SessionConfig& config) {
                 "noise amplitude must be >= 0 (got " +
                     std::to_string(config.phase_noise_rad) + ")");
   }
+  switch (config.exec_tier) {
+    case cgra::ExecTier::kInterpreter:
+    case cgra::ExecTier::kBytecode:
+    case cgra::ExecTier::kNative:
+    case cgra::ExecTier::kAuto:
+      break;
+    default:
+      throw_field("exec_tier",
+                  "unknown execution tier " +
+                      std::to_string(static_cast<int>(config.exec_tier)));
+  }
   // The relativistic energy implied by the revolution frequency must be
   // physical (beta < 1): f_ref · C < c.
   const phys::Ring ring = phys::sis18(config.harmonic);
@@ -121,6 +132,7 @@ std::uint64_t session_config_digest(const SessionConfig& config) {
   h.f64(config.phase_noise_rad);
   h.u64(config.noise_seed);
   h.u8(config.supervised ? 1 : 0);
+  h.u8(static_cast<std::uint8_t>(config.exec_tier));
   return h.value();
 }
 
@@ -161,6 +173,7 @@ hil::TurnLoopConfig to_turnloop_config(const SessionConfig& config) {
   hil::TurnLoopConfig out;
   expand_common(config, out);
   out.cycle_accurate = config.cycle_accurate;
+  out.exec_tier = config.exec_tier;
   out.synthesize_waveform = config.synthesize_waveform;
   out.quantise_period = config.quantise_period;
   out.phase_noise_rad = config.phase_noise_rad;
@@ -174,6 +187,7 @@ hil::FrameworkConfig to_framework_config(const SessionConfig& config) {
   hil::FrameworkConfig out;
   expand_common(config, out);
   out.cycle_accurate_cgra = config.cycle_accurate;
+  out.exec_tier = config.exec_tier;
   out.noise_seed = config.noise_seed;
   out.supervisor.enabled = config.supervised;
   // The sample-accurate engine has no analytic noise injection or waveform

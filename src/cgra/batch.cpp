@@ -4,6 +4,8 @@
 #include <cmath>
 #include <type_traits>
 
+#include "cgra/bytecode.hpp"
+#include "cgra/codegen.hpp"
 #include "cgra/exec.hpp"
 #include "core/error.hpp"
 #include "obs/metrics.hpp"
@@ -22,11 +24,42 @@ struct IndexMap {
   std::size_t operator()(std::size_t k) const noexcept { return ids[k]; }
 };
 
+/// C-ABI bus trampolines for generated kernels (lane-indexed bus).
+double lane_bus_read(void* bus, std::uint32_t lane, double addr) {
+  const DecodedAddress da = decode_address(addr);
+  return static_cast<LaneSensorBus*>(bus)->read(lane, da.region, da.offset);
+}
+
+void lane_bus_write(void* bus, std::uint32_t lane, double addr, double value) {
+  const DecodedAddress da = decode_address(addr);
+  static_cast<LaneSensorBus*>(bus)->write(lane, da.region, da.offset, value);
+}
+
+double lane_bus_read_at(void* bus, std::uint32_t lane, std::uint32_t region,
+                        double offset) {
+  return static_cast<LaneSensorBus*>(bus)->read(
+      lane, static_cast<SensorRegion>(region), offset);
+}
+
+void lane_bus_write_at(void* bus, std::uint32_t lane, std::uint32_t region,
+                       double offset, double value) {
+  static_cast<LaneSensorBus*>(bus)->write(
+      lane, static_cast<SensorRegion>(region), offset, value);
+}
+
+obs::Counter& tier_iteration_counter(ExecTier tier) {
+  static obs::Counter* const counters[3] = {
+      &obs::Registry::global().counter("cgra.exec.iterations.interpreter"),
+      &obs::Registry::global().counter("cgra.exec.iterations.bytecode"),
+      &obs::Registry::global().counter("cgra.exec.iterations.native")};
+  return *counters[static_cast<int>(tier)];
+}
+
 }  // namespace
 
 BatchedCgraMachine::BatchedCgraMachine(const CompiledKernel& kernel,
                                        std::size_t lanes, LaneSensorBus& bus,
-                                       Precision precision)
+                                       Precision precision, ExecTier tier)
     : kernel_(&kernel),
       bus_(&bus),
       precision_(precision),
@@ -35,6 +68,10 @@ BatchedCgraMachine::BatchedCgraMachine(const CompiledKernel& kernel,
   if (lanes == 0) {
     throw ConfigError("BatchedCgraMachine for kernel '" + kernel.name +
                       "' needs at least one lane");
+  }
+  tier_ = resolve_exec_tier(tier, kernel, precision, lanes_, &native_);
+  if (tier_ == ExecTier::kBytecode) {
+    bytecode_ = std::make_unique<BytecodeProgram>(kernel, lanes_);
   }
   values_.assign(kernel.dfg.size() * lanes_, 0.0);
   pipe_regs_.assign(kernel.dfg.size() * lanes_, 0.0);
@@ -54,6 +91,13 @@ BatchedCgraMachine::BatchedCgraMachine(const CompiledKernel& kernel,
   scratch_f_.assign(4 * lanes_, 0.0f);
   scratch_d_.assign(4 * lanes_, 0.0);
   lane_iterations_.assign(lanes_, 0);
+  auto& reg = obs::Registry::global();
+  obs_batched_ = &reg.counter("cgra.batch.iterations");
+  obs_lane_iters_ = &reg.counter("cgra.batch.lane_iterations");
+  obs_lanes_active_ = &reg.gauge("cgra.batch.lanes_active");
+  obs_iterations_ = &reg.counter("cgra.iterations");
+  obs_cycles_ = &reg.counter("cgra.schedule_cycles");
+  obs_tier_iters_ = &tier_iteration_counter(tier_);
   reset();
 }
 
@@ -399,32 +443,72 @@ void BatchedCgraMachine::commit(const LaneMap& lm, std::size_t n_active) {
       sv[l] = up[l];
     }
   }
+  commit_bookkeeping(lm, n_active);
+}
+
+/// The counter half of commit(). The native tier latches pipeline registers
+/// and states inside the generated kernel (NativeCtx contract), so it skips
+/// the data copies above and runs only this.
+template <typename LaneMap>
+void BatchedCgraMachine::commit_bookkeeping(const LaneMap& lm,
+                                            std::size_t n_active) {
   for (std::size_t k = 0; k < n_active; ++k) ++lane_iterations_[lm(k)];
   ++iterations_;
 
-  static obs::Counter& batched =
-      obs::Registry::global().counter("cgra.batch.iterations");
-  static obs::Counter& lane_iters =
-      obs::Registry::global().counter("cgra.batch.lane_iterations");
-  static obs::Gauge& lanes_active =
-      obs::Registry::global().gauge("cgra.batch.lanes_active");
-  static obs::Counter& iterations =
-      obs::Registry::global().counter("cgra.iterations");
-  static obs::Counter& cycles =
-      obs::Registry::global().counter("cgra.schedule_cycles");
-  batched.add();
-  lane_iters.add(n_active);
-  lanes_active.set(static_cast<double>(n_active));
-  iterations.add(n_active);
-  cycles.add(n_active * kernel_->schedule.length);
+  // One branch while the registry is disabled. Every instrument below would
+  // individually early-out on the same flag, so gating them as a block
+  // records exactly the same values — it only stops a disabled registry from
+  // costing a dozen loads on every committed iteration (the native tier's
+  // whole iteration is ~500 ns; this bookkeeping was ~10% of it).
+  if (!obs::Registry::global().enabled()) return;
+  obs_batched_->add();
+  obs_lane_iters_->add(n_active);
+  obs_lanes_active_->set(static_cast<double>(n_active));
+  obs_iterations_->add(n_active);
+  obs_cycles_->add(n_active * kernel_->schedule.length);
   attribution_counters_.add_iterations(n_active);
 }
 
+BatchedCgraMachine::~BatchedCgraMachine() = default;
+
 unsigned BatchedCgraMachine::run_iteration_all_lanes() {
-  if (precision_ == Precision::kFloat32) {
-    run_pass<float>(IdentityMap{}, lanes_);
-  } else {
-    run_pass<double>(IdentityMap{}, lanes_);
+  obs_tier_iters_->add();
+  switch (tier_) {
+    case ExecTier::kNative: {
+      NativeCtx ctx;
+      ctx.values = values_.data();
+      ctx.pipe_regs = pipe_regs_.data();
+      ctx.state_vals = state_vals_.data();
+      ctx.param_vals = param_vals_.data();
+      ctx.bus = bus_;
+      ctx.bus_read = &lane_bus_read;
+      ctx.bus_write = &lane_bus_write;
+      ctx.bus_read_at = &lane_bus_read_at;
+      ctx.bus_write_at = &lane_bus_write_at;
+      native_->run_dense(ctx);
+      commit_bookkeeping(IdentityMap{}, lanes_);
+      break;
+    }
+    case ExecTier::kBytecode: {
+      BcContext ctx;
+      ctx.values = values_.data();
+      ctx.pipe_regs = pipe_regs_.data();
+      ctx.state_vals = state_vals_.data();
+      ctx.param_vals = param_vals_.data();
+      ctx.lanes = lanes_;
+      ctx.scratch_f = scratch_f_.data();
+      ctx.scratch_d = scratch_d_.data();
+      bytecode_->run_dense(precision_, ctx, *bus_);
+      commit(IdentityMap{}, lanes_);
+      break;
+    }
+    default:
+      if (precision_ == Precision::kFloat32) {
+        run_pass<float>(IdentityMap{}, lanes_);
+      } else {
+        run_pass<double>(IdentityMap{}, lanes_);
+      }
+      break;
   }
   return kernel_->schedule.length;
 }
@@ -434,10 +518,44 @@ unsigned BatchedCgraMachine::run_iteration_lanes(const std::uint32_t* lane_ids,
   if (n_active == 0) return kernel_->schedule.length;
   if (n_active == lanes_) return run_iteration_all_lanes();
   for (std::size_t k = 0; k < n_active; ++k) check_lane(lane_ids[k]);
-  if (precision_ == Precision::kFloat32) {
-    run_pass<float>(IndexMap{lane_ids}, n_active);
-  } else {
-    run_pass<double>(IndexMap{lane_ids}, n_active);
+  obs_tier_iters_->add();
+  switch (tier_) {
+    case ExecTier::kNative: {
+      NativeCtx ctx;
+      ctx.values = values_.data();
+      ctx.pipe_regs = pipe_regs_.data();
+      ctx.state_vals = state_vals_.data();
+      ctx.param_vals = param_vals_.data();
+      ctx.bus = bus_;
+      ctx.bus_read = &lane_bus_read;
+      ctx.bus_write = &lane_bus_write;
+      ctx.bus_read_at = &lane_bus_read_at;
+      ctx.bus_write_at = &lane_bus_write_at;
+      native_->run_masked(ctx, lane_ids,
+                          static_cast<std::uint32_t>(n_active));
+      commit_bookkeeping(IndexMap{lane_ids}, n_active);
+      break;
+    }
+    case ExecTier::kBytecode: {
+      BcContext ctx;
+      ctx.values = values_.data();
+      ctx.pipe_regs = pipe_regs_.data();
+      ctx.state_vals = state_vals_.data();
+      ctx.param_vals = param_vals_.data();
+      ctx.lanes = lanes_;
+      ctx.scratch_f = scratch_f_.data();
+      ctx.scratch_d = scratch_d_.data();
+      bytecode_->run_masked(precision_, ctx, *bus_, lane_ids, n_active);
+      commit(IndexMap{lane_ids}, n_active);
+      break;
+    }
+    default:
+      if (precision_ == Precision::kFloat32) {
+        run_pass<float>(IndexMap{lane_ids}, n_active);
+      } else {
+        run_pass<double>(IndexMap{lane_ids}, n_active);
+      }
+      break;
   }
   return kernel_->schedule.length;
 }

@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cgra/machine.hpp"
 #include "cgra/schedule.hpp"
 #include "cgra/sensor.hpp"
+#include "core/aligned.hpp"
 
 namespace citl::cgra {
 
@@ -59,15 +61,20 @@ class PerLaneBusAdapter final : public LaneSensorBus {
 class BatchedCgraMachine final : public BeamModel {
  public:
   /// The machine keeps references to the kernel and the bus; both must
-  /// outlive it. `bus` must serve at least `lanes` lanes.
+  /// outlive it. `bus` must serve at least `lanes` lanes. `tier` picks the
+  /// execution back end (exec_tier.hpp); kAuto and the no-compiler fallback
+  /// resolve at construction.
   BatchedCgraMachine(const CompiledKernel& kernel, std::size_t lanes,
                      LaneSensorBus& bus,
-                     Precision precision = Precision::kFloat32);
+                     Precision precision = Precision::kFloat32,
+                     ExecTier tier = ExecTier::kInterpreter);
+  ~BatchedCgraMachine() override;
 
   [[nodiscard]] const CompiledKernel& kernel() const noexcept override {
     return *kernel_;
   }
   [[nodiscard]] std::size_t lanes() const noexcept override { return lanes_; }
+  [[nodiscard]] ExecTier exec_tier() const noexcept override { return tier_; }
 
   void reset() override;
 
@@ -113,6 +120,8 @@ class BatchedCgraMachine final : public BeamModel {
                    const LaneMap& lm, std::size_t n_active);
   template <typename LaneMap>
   void commit(const LaneMap& lm, std::size_t n_active);
+  template <typename LaneMap>
+  void commit_bookkeeping(const LaneMap& lm, std::size_t n_active);
   template <typename F>
   [[nodiscard]] F* scratch_base() noexcept;
   [[nodiscard]] double quantise(double v) const noexcept;
@@ -134,10 +143,12 @@ class BatchedCgraMachine final : public BeamModel {
   LaneSensorBus* bus_;
   Precision precision_;
   std::size_t lanes_;
-  std::vector<double> values_;      ///< [node * lanes + lane]
-  std::vector<double> pipe_regs_;   ///< [node * lanes + lane]
-  std::vector<double> state_vals_;  ///< [state index * lanes + lane]
-  std::vector<double> param_vals_;  ///< [param index * lanes + lane]
+  // Cache-line aligned: one f64 row (8 lanes) is exactly one line, and row
+  // accesses must not straddle lines (core/aligned.hpp).
+  core::CacheAlignedVector<double> values_;      ///< [node * lanes + lane]
+  core::CacheAlignedVector<double> pipe_regs_;   ///< [node * lanes + lane]
+  core::CacheAlignedVector<double> state_vals_;  ///< [state index * lanes + lane]
+  core::CacheAlignedVector<double> param_vals_;  ///< [param index * lanes + lane]
   std::vector<NodeId> topo_;
   std::vector<int> param_slot_;     ///< node id -> param index (or -1)
   std::vector<int> state_slot_;     ///< node id -> state index (or -1)
@@ -146,6 +157,19 @@ class BatchedCgraMachine final : public BeamModel {
   std::uint64_t iterations_ = 0;
   std::vector<std::uint64_t> lane_iterations_;
   AttributionCounters attribution_counters_;  ///< per-op cycle metrics
+  // Obs handles resolved once in the constructor (name lookups take the
+  // registry mutex). The per-iteration bookkeeping gates on
+  // Registry::enabled() as one branch, so a disabled registry costs a single
+  // relaxed load per iteration instead of one per instrument.
+  obs::Counter* obs_batched_ = nullptr;
+  obs::Counter* obs_lane_iters_ = nullptr;
+  obs::Gauge* obs_lanes_active_ = nullptr;
+  obs::Counter* obs_iterations_ = nullptr;
+  obs::Counter* obs_cycles_ = nullptr;
+  obs::Counter* obs_tier_iters_ = nullptr;
+  ExecTier tier_ = ExecTier::kInterpreter;    ///< resolved (never kAuto)
+  std::unique_ptr<BytecodeProgram> bytecode_;
+  std::shared_ptr<const NativeKernel> native_;
 };
 
 }  // namespace citl::cgra

@@ -63,4 +63,13 @@ struct BeamKernelConfig {
 /// one damped-oscillator state pair, exercising every operator class.
 [[nodiscard]] std::string demo_oscillator_source();
 
+/// CORDIC-heavy showcase/benchmark kernel: IQ demodulation of a cavity probe
+/// tone against an on-chip LO, with PI amplitude and phase servos driving a
+/// first-order cavity model. Three trig evaluations per iteration plus
+/// sqrt/div and predicated drive limiters — the worst case for the
+/// interpreter's node-at-a-time walk and the headline workload for the
+/// native codegen tier (bench_codegen). Schedules on grid_4x4 (the
+/// anti-diagonal's CORDIC PEs serialise the trig ops).
+[[nodiscard]] std::string cavity_iq_servo_source();
+
 }  // namespace citl::cgra

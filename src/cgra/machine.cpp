@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cgra/bytecode.hpp"
+#include "cgra/codegen.hpp"
 #include "cgra/exec.hpp"
 #include "core/error.hpp"
 #include "obs/metrics.hpp"
@@ -9,6 +11,31 @@
 namespace citl::cgra {
 
 namespace {
+
+/// C-ABI bus trampolines for generated kernels (serial machine: the
+/// lane-less SensorBus; the lane argument is ignored).
+double serial_bus_read(void* bus, std::uint32_t /*lane*/, double addr) {
+  const DecodedAddress da = decode_address(addr);
+  return static_cast<SensorBus*>(bus)->read(da.region, da.offset);
+}
+
+void serial_bus_write(void* bus, std::uint32_t /*lane*/, double addr,
+                      double value) {
+  const DecodedAddress da = decode_address(addr);
+  static_cast<SensorBus*>(bus)->write(da.region, da.offset, value);
+}
+
+double serial_bus_read_at(void* bus, std::uint32_t /*lane*/,
+                          std::uint32_t region, double offset) {
+  return static_cast<SensorBus*>(bus)->read(static_cast<SensorRegion>(region),
+                                            offset);
+}
+
+void serial_bus_write_at(void* bus, std::uint32_t /*lane*/,
+                         std::uint32_t region, double offset, double value) {
+  static_cast<SensorBus*>(bus)->write(static_cast<SensorRegion>(region),
+                                      offset, value);
+}
 
 [[noreturn]] void throw_unknown(const CompiledKernel& kernel, const char* what,
                                 std::string_view name) {
@@ -80,11 +107,15 @@ StateHandle find_state(const CompiledKernel& kernel,
 }
 
 CgraMachine::CgraMachine(const CompiledKernel& kernel, SensorBus& bus,
-                         Precision precision)
+                         Precision precision, ExecTier tier)
     : kernel_(&kernel),
       bus_(&bus),
       precision_(precision),
       attribution_counters_(kernel) {
+  tier_ = resolve_exec_tier(tier, kernel, precision, /*lanes=*/1, &native_);
+  if (tier_ == ExecTier::kBytecode) {
+    bytecode_ = std::make_unique<BytecodeProgram>(kernel, /*lanes=*/1);
+  }
   values_.assign(kernel.dfg.size(), 0.0);
   pipe_regs_.assign(kernel.dfg.size(), 0.0);
   topo_ = kernel.dfg.topo_order();
@@ -219,7 +250,52 @@ double CgraMachine::eval(const Node& n, double a, double b, double c) {
              : detail::eval_scalar<double>(n.kind, a, b, c);
 }
 
+CgraMachine::~CgraMachine() = default;
+
 void CgraMachine::run_iteration() {
+  // Per-tier iteration series (exec_tier.hpp ordering): which back end the
+  // functional path actually ran.
+  static obs::Counter* const tier_counters[3] = {
+      &obs::Registry::global().counter("cgra.exec.iterations.interpreter"),
+      &obs::Registry::global().counter("cgra.exec.iterations.bytecode"),
+      &obs::Registry::global().counter("cgra.exec.iterations.native")};
+  tier_counters[static_cast<int>(tier_)]->add();
+  switch (tier_) {
+    case ExecTier::kNative: {
+      NativeCtx ctx;
+      ctx.values = values_.data();
+      ctx.pipe_regs = pipe_regs_.data();
+      ctx.state_vals = state_vals_.data();
+      ctx.param_vals = param_vals_.data();
+      ctx.bus = bus_;
+      ctx.bus_read = &serial_bus_read;
+      ctx.bus_write = &serial_bus_write;
+      ctx.bus_read_at = &serial_bus_read_at;
+      ctx.bus_write_at = &serial_bus_write_at;
+      native_->run_dense(ctx);
+      commit_iteration();
+      break;
+    }
+    case ExecTier::kBytecode: {
+      BcContext ctx;
+      ctx.values = values_.data();
+      ctx.pipe_regs = pipe_regs_.data();
+      ctx.state_vals = state_vals_.data();
+      ctx.param_vals = param_vals_.data();
+      ctx.lanes = 1;
+      ctx.scratch_f = scratch_f_.data();
+      ctx.scratch_d = scratch_d_.data();
+      bytecode_->run_serial(precision_, ctx, *bus_);
+      commit_iteration();
+      break;
+    }
+    default:
+      run_iteration_interpreted();
+      break;
+  }
+}
+
+void CgraMachine::run_iteration_interpreted() {
   const Dfg& g = kernel_->dfg;
   for (NodeId id : topo_) {
     const Node& n = g.node(id);

@@ -19,15 +19,21 @@
 // (console, tests) and must stay off per-revolution hot paths.
 #pragma once
 
+#include <array>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cgra/attribution.hpp"
+#include "cgra/exec_tier.hpp"
 #include "cgra/schedule.hpp"
 #include "cgra/sensor.hpp"
 
 namespace citl::cgra {
+
+class BytecodeProgram;  // bytecode.hpp
+class NativeKernel;     // codegen.hpp
 
 enum class Precision { kFloat32, kFloat64 };
 
@@ -82,6 +88,13 @@ class BeamModel {
   /// Number of independent lanes (scenarios) this model executes per
   /// iteration. CgraMachine: always 1.
   [[nodiscard]] virtual std::size_t lanes() const noexcept = 0;
+
+  /// The execution tier this model actually runs (kAuto and the no-compiler
+  /// fallback are resolved at construction — never kAuto here). All tiers
+  /// are bit-identical; this is for reporting and tests.
+  [[nodiscard]] virtual ExecTier exec_tier() const noexcept {
+    return ExecTier::kInterpreter;
+  }
 
   /// Resets every lane: states to initial values, params to defaults,
   /// pipeline registers cleared.
@@ -142,9 +155,12 @@ class BeamModel {
 class CgraMachine final : public BeamModel {
  public:
   /// The machine keeps a reference to the kernel and the bus; both must
-  /// outlive it.
+  /// outlive it. `tier` picks the execution back end for the functional
+  /// path (exec_tier.hpp); the cycle-accurate path always interprets.
   CgraMachine(const CompiledKernel& kernel, SensorBus& bus,
-              Precision precision = Precision::kFloat32);
+              Precision precision = Precision::kFloat32,
+              ExecTier tier = ExecTier::kInterpreter);
+  ~CgraMachine() override;
 
   /// Resets states to their initial values and clears pipeline registers.
   void reset() override;
@@ -200,8 +216,10 @@ class CgraMachine final : public BeamModel {
     return *kernel_;
   }
   [[nodiscard]] std::size_t lanes() const noexcept override { return 1; }
+  [[nodiscard]] ExecTier exec_tier() const noexcept override { return tier_; }
 
  private:
+  void run_iteration_interpreted();
   [[nodiscard]] double eval(const Node& n, double a, double b, double c);
   [[nodiscard]] double operand(NodeId consumer, NodeId producer) const;
   void commit_iteration();
@@ -220,6 +238,11 @@ class CgraMachine final : public BeamModel {
   std::vector<int> state_slot_;     ///< node id -> state index (or -1)
   std::uint64_t iterations_ = 0;
   AttributionCounters attribution_counters_;  ///< per-op cycle metrics
+  ExecTier tier_ = ExecTier::kInterpreter;    ///< resolved (never kAuto)
+  std::unique_ptr<BytecodeProgram> bytecode_;
+  std::shared_ptr<const NativeKernel> native_;
+  std::array<float, 4> scratch_f_{};   ///< single-lane CORDIC scratch
+  std::array<double, 4> scratch_d_{};
 };
 
 }  // namespace citl::cgra

@@ -1,0 +1,56 @@
+// Cache-line-aligned std::vector storage.
+//
+// The batched CGRA engine's SoA banks are addressed as whole lane rows
+// (8 binary64 lanes = exactly one 64-byte cache line). The default
+// allocator only guarantees alignof(std::max_align_t) (16), so a row can
+// straddle two cache lines and every vector load/store in the native tier
+// pays a split-line penalty — and whether that happens depends on
+// allocation history, which made benchmarks irreproducible. Pinning the
+// banks to 64 bytes makes row accesses single-line by construction.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace citl::core {
+
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "Align must be a power of two no smaller than alignof(T)");
+  using value_type = T;
+  // Explicit rebind: allocator_traits cannot synthesise it across the
+  // non-type Align parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Align>&) const noexcept {
+    return false;
+  }
+};
+
+/// A std::vector whose storage starts on a cache-line boundary.
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace citl::core

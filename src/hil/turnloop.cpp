@@ -129,7 +129,8 @@ TurnLoop::TurnLoop(const TurnLoopConfig& config,
                                        config.gap_amplitude_v,
                                        config.gap_h2_ratio,
                                        config.gap_h2_phase_rad);
-  machine_ = std::make_unique<cgra::CgraMachine>(*kernel_, *bus_);
+  machine_ = std::make_unique<cgra::CgraMachine>(
+      *kernel_, *bus_, cgra::Precision::kFloat32, config.exec_tier);
   model_ = machine_.get();
 
   h_v_hat_ = cgra::find_param(*kernel_, "v_hat");

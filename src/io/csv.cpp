@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -101,12 +102,17 @@ double csv_parse_number(std::string_view field) {
   if (equals_ci("inf") || equals_ci("infinity")) {
     return sign * std::numeric_limits<double>::infinity();
   }
-  if (field.empty()) fail();
-  const std::string cell(field);  // strtod needs a terminator
-  char* end = nullptr;
-  const double v = std::strtod(cell.c_str(), &end);
-  if (end != cell.c_str() + cell.size()) fail();
-  return v;
+  if (body.empty()) fail();
+  // std::from_chars, not strtod: strtod honours the process locale, so a
+  // host running under e.g. de_DE.UTF-8 would reject "3.14" (comma decimal
+  // separator). from_chars always parses the C-locale format and needs no
+  // NUL terminator. It does not accept a sign itself — `body` already has
+  // the sign stripped, which also rejects strtod-isms like "0x1p3" with a
+  // second sign or embedded whitespace.
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(body.data(), body.data() + body.size(), v);
+  if (ec != std::errc() || ptr != body.data() + body.size()) fail();
+  return sign * v;
 }
 
 std::vector<std::vector<std::string>> parse_csv(std::string_view text) {

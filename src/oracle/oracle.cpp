@@ -103,7 +103,8 @@ class FidelityRun {
         auto& loop = *loops_.emplace_back(std::make_unique<TurnLoop>(
             config, kernel_, TurnLoop::ExternalModel{}));
         model_ = std::make_unique<cgra::CgraMachine>(
-            *kernel_, loop.cgra_bus(), cgra::Precision::kFloat64);
+            *kernel_, loop.cgra_bus(), cgra::Precision::kFloat64,
+            config.exec_tier);
         loop.attach_model(*model_, 0);
         break;
       }
@@ -129,7 +130,8 @@ class FidelityRun {
         model_ = std::make_unique<cgra::BatchedCgraMachine>(
             *kernel_, batch_lanes, *adapter_,
             fidelity_ == Fidelity::kBatchedF64 ? cgra::Precision::kFloat64
-                                               : cgra::Precision::kFloat32);
+                                               : cgra::Precision::kFloat32,
+            config.exec_tier);
         for (std::size_t i = 0; i < batch_lanes; ++i) {
           loops_[i]->attach_model(*model_, i);
         }

@@ -214,6 +214,7 @@ void encode_session_config(WireWriter& w, const api::SessionConfig& config) {
   w.f64(config.phase_noise_rad);
   w.u64(config.noise_seed);
   w.u8(config.supervised ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(config.exec_tier));
 }
 
 api::SessionConfig decode_session_config(WireReader& r) {
@@ -234,6 +235,11 @@ api::SessionConfig decode_session_config(WireReader& r) {
   config.phase_noise_rad = r.f64();
   config.noise_seed = r.u64();
   config.supervised = r.u8() != 0;
+  const std::uint8_t tier = r.u8();
+  if (tier > static_cast<std::uint8_t>(cgra::ExecTier::kAuto)) {
+    throw_bad_frame("unknown exec tier " + std::to_string(tier));
+  }
+  config.exec_tier = static_cast<cgra::ExecTier>(tier);
   return config;
 }
 

@@ -138,12 +138,17 @@ std::shared_ptr<const cgra::CompiledKernel> scenario_kernel(
 }
 
 /// Lockstep-group key: scenarios may share a lane batch only when they run
-/// the same compiled kernel through the same engine.
+/// the same compiled kernel through the same engine and execution tier
+/// (lanes of one BatchedCgraMachine all run one tier).
 std::string scenario_group_key(const Scenario& s) {
   std::string key =
       s.engine == ScenarioEngine::kTurnLevel ? "turn|" : "tick|";
   key += kernel_cache_key(scenario_kernel_config(s), scenario_arch(s),
                           scenario_kernel_kind(s));
+  key += '|';
+  key += cgra::exec_tier_name(s.engine == ScenarioEngine::kTurnLevel
+                                  ? s.turnloop.exec_tier
+                                  : s.framework.exec_tier);
   return key;
 }
 
@@ -390,7 +395,9 @@ void run_framework_chunk(const SweepConfig& config,
     end_tick[k] = kSampleClock.to_ticks(scenario.duration_s);
   }
   cgra::PerLaneBusAdapter adapter(std::move(buses));
-  cgra::BatchedCgraMachine machine(*kernel, n, adapter);
+  cgra::BatchedCgraMachine machine(
+      *kernel, n, adapter, cgra::Precision::kFloat32,
+      config.scenarios[members[0]].framework.exec_tier);
   for (std::size_t k = 0; k < n; ++k) {
     // Injected state faults and the supervisor's state guard act on this
     // framework's lane of the shared machine, not the idle owned one.
@@ -469,7 +476,9 @@ void run_turn_chunk(const SweepConfig& config,
     phases[k].reserve(static_cast<std::size_t>(turns[k]));
   }
   cgra::PerLaneBusAdapter adapter(std::move(buses));
-  cgra::BatchedCgraMachine machine(*kernel, n, adapter);
+  cgra::BatchedCgraMachine machine(
+      *kernel, n, adapter, cgra::Precision::kFloat32,
+      config.scenarios[members[0]].turnloop.exec_tier);
   for (std::size_t k = 0; k < n; ++k) {
     loops[k]->attach_model(machine, k);
   }

@@ -1,6 +1,7 @@
 // IO helpers: CSV, console tables, ASCII plots, traces, parameter bus.
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -94,6 +95,34 @@ TEST(Csv, ParseNumberRejectsGarbage) {
   EXPECT_THROW(io::csv_parse_number("1.5x"), ConfigError);
   EXPECT_THROW(io::csv_parse_number("nanx"), ConfigError);
   EXPECT_THROW(io::csv_parse_number("not-a-number"), ConfigError);
+}
+
+TEST(Csv, ParseNumberIsLocaleIndependent) {
+  // Regression: csv_parse_number used std::strtod, which honours the process
+  // locale — under a comma-decimal locale (de_DE.UTF-8) "3.14" stopped
+  // parsing at the '.' and the round-trip broke. std::from_chars always
+  // reads the C-locale format. Skip (don't fail) on hosts without a
+  // comma-decimal locale generated.
+  const char* old = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = old != nullptr ? old : "C";
+  const char* got = std::setlocale(LC_ALL, "de_DE.UTF-8");
+  if (got == nullptr) got = std::setlocale(LC_ALL, "de_DE.utf8");
+  if (got == nullptr) got = std::setlocale(LC_ALL, "fr_FR.UTF-8");
+  if (got == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale available on this host";
+  }
+  // Sanity: the locale really uses a comma decimal separator.
+  const struct lconv* lc = std::localeconv();
+  const bool comma_locale =
+      lc != nullptr && lc->decimal_point != nullptr &&
+      lc->decimal_point[0] == ',';
+  const double parsed = io::csv_parse_number("3.14");
+  const double roundtrip =
+      io::csv_parse_number(io::csv_format_number(0.1 + 0.2));
+  std::setlocale(LC_ALL, saved.c_str());
+  ASSERT_TRUE(comma_locale) << "locale accepted but decimal point is not ','";
+  EXPECT_EQ(parsed, 3.14);
+  EXPECT_EQ(roundtrip, 0.1 + 0.2);
 }
 
 TEST(Csv, WritesFile) {
